@@ -1,0 +1,41 @@
+# Developer entry points. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench verify experiments cover fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Re-measure every theorem bound; non-zero exit on any violation.
+verify:
+	$(GO) run ./cmd/closverify -v
+
+# Regenerate every figure/bound of the paper as tables.
+experiments:
+	$(GO) run ./cmd/closlab -all
+
+cover:
+	$(GO) test -cover ./...
+
+# Short fuzz pass over the allocator, the edge colorer and the simplex.
+fuzz:
+	$(GO) test -fuzz=FuzzWaterfill -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzEdgeColor -fuzztime=10s ./internal/coloring/
+	$(GO) test -fuzz=FuzzSimplex -fuzztime=10s ./internal/lp/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/codec/
+
+clean:
+	$(GO) clean ./...
+	rm -rf internal/*/testdata/fuzz

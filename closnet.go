@@ -1,0 +1,285 @@
+// Package closnet is a from-scratch reproduction of "Impossibility
+// Results for Data-Center Routing with Congestion Control and
+// Unsplittable Flows" (Ferreira, Atre, Sherry, Sobrinho — PODC 2024).
+//
+// It models Clos networks C_n and their macro-switch abstractions MS_n,
+// computes exact max-min fair allocations (the congestion-control model
+// of the paper) for arbitrary routings of unsplittable flows, optimizes
+// the routing objectives of §2.3 (lex-max-min fairness and
+// throughput-max-min fairness), implements the Doom-Switch algorithm
+// (Algorithm 1), builds every adversarial construction of the paper, and
+// regenerates each figure and bound as a paper-vs-measured table.
+//
+// All rate arithmetic is exact (math/big.Rat). Start with:
+//
+//	c, _ := closnet.NewClos(2)
+//	ms, _ := closnet.NewMacroSwitch(2)
+//	fs := closnet.NewCollection(c.Source(1, 1), c.Dest(2, 1))
+//	rates, _ := closnet.ClosMaxMinFair(c, fs, closnet.MiddleAssignment{1})
+//
+// or run the paper's experiments via Experiments / RunExperiment, the
+// cmd/closlab CLI, or the examples/ programs.
+package closnet
+
+import (
+	"math/big"
+
+	"closnet/internal/adversary"
+	"closnet/internal/core"
+	"closnet/internal/doom"
+	"closnet/internal/experiments"
+	"closnet/internal/lp"
+	"closnet/internal/rational"
+	"closnet/internal/routing"
+	"closnet/internal/schedule"
+	"closnet/internal/search"
+	"closnet/internal/topology"
+	"closnet/internal/workload"
+)
+
+// Topology types (§2.1).
+type (
+	// Network is a directed capacitated graph.
+	Network = topology.Network
+	// NodeID identifies a node within one Network.
+	NodeID = topology.NodeID
+	// LinkID identifies a directed link within one Network.
+	LinkID = topology.LinkID
+	// Path is a contiguous sequence of links.
+	Path = topology.Path
+	// Clos is the three-stage Clos network C_n with n middle switches.
+	Clos = topology.Clos
+	// MacroSwitch is the macro-switch abstraction MS_n.
+	MacroSwitch = topology.MacroSwitch
+)
+
+// Flow and allocation types (§2.2).
+type (
+	// Flow is an unsplittable flow between a source and a destination
+	// server.
+	Flow = core.Flow
+	// Collection is an ordered flow collection.
+	Collection = core.Collection
+	// Routing assigns one path per flow.
+	Routing = core.Routing
+	// MiddleAssignment is the compact Clos routing: one middle switch
+	// index (1-based) per flow.
+	MiddleAssignment = core.MiddleAssignment
+	// Allocation assigns an exact non-negative rate to each flow.
+	Allocation = core.Allocation
+	// Vec is a vector of exact rationals.
+	Vec = rational.Vec
+)
+
+// Algorithm and experiment types.
+type (
+	// DoomResult is the routing produced by the Doom-Switch algorithm.
+	DoomResult = doom.Result
+	// SearchOptions tunes the exhaustive routing-objective optimizers.
+	SearchOptions = search.Options
+	// SearchResult is an optimizer outcome.
+	SearchResult = search.Result
+	// RoutingAlgorithm is one of the §6 baseline routing algorithms.
+	RoutingAlgorithm = routing.Algorithm
+	// AdversarialInstance is a paper construction with posited
+	// allocations.
+	AdversarialInstance = adversary.Instance
+	// FlowType labels flows with the paper's type taxonomy.
+	FlowType = adversary.FlowType
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = experiments.Table
+	// ExperimentRunner is a named experiment with default parameters.
+	ExperimentRunner = experiments.Runner
+	// WorkloadPair is a stochastic flow collection over a Clos network
+	// and, with identical indexing, over its macro-switch.
+	WorkloadPair = workload.Pair
+	// PathSets lists candidate paths per flow for the splittable LPs.
+	PathSets = lp.PathSets
+)
+
+// Flow type labels.
+const (
+	Type1  = adversary.Type1
+	Type2a = adversary.Type2a
+	Type2b = adversary.Type2b
+	Type3  = adversary.Type3
+)
+
+// NewClos builds the Clos network C_n (§2.1): n middle switches, 2n
+// input/output ToR switches, n servers per ToR, unit capacities.
+func NewClos(n int) (*Clos, error) { return topology.NewClos(n) }
+
+// NewGeneralClos builds a Clos network with independent ToR, server and
+// middle-switch counts (the multirate-rearrangeability setting of §6).
+func NewGeneralClos(tors, servers, middles int) (*Clos, error) {
+	return topology.NewGeneralClos(tors, servers, middles)
+}
+
+// NewMacroSwitch builds the macro-switch abstraction MS_n.
+func NewMacroSwitch(n int) (*MacroSwitch, error) { return topology.NewMacroSwitch(n) }
+
+// NewCollection builds a flow collection from (source, destination) node
+// pairs. It panics on an odd argument count (intended for literals).
+func NewCollection(pairs ...NodeID) Collection { return core.NewCollection(pairs...) }
+
+// R returns the exact rational p/q.
+func R(p, q int64) *big.Rat { return rational.R(p, q) }
+
+// MaxMinFair computes the exact max-min fair allocation of the flows for
+// a fixed routing by progressive filling (§2.2).
+func MaxMinFair(net *Network, fs Collection, r Routing) (Allocation, error) {
+	return core.MaxMinFair(net, fs, r)
+}
+
+// MacroMaxMinFair computes the unique max-min fair allocation in a
+// macro-switch, where routing is forced.
+func MacroMaxMinFair(ms *MacroSwitch, fs Collection) (Allocation, error) {
+	return core.MacroMaxMinFair(ms, fs)
+}
+
+// ClosMaxMinFair computes the max-min fair allocation in a Clos network
+// under the routing given by a middle assignment.
+func ClosMaxMinFair(c *Clos, fs Collection, ma MiddleAssignment) (Allocation, error) {
+	return core.ClosMaxMinFair(c, fs, ma)
+}
+
+// IsFeasible returns nil if the allocation satisfies every link capacity
+// under the routing.
+func IsFeasible(net *Network, fs Collection, r Routing, a Allocation) error {
+	return core.IsFeasible(net, fs, r, a)
+}
+
+// IsMaxMinFair returns nil if the allocation is max-min fair for the
+// routing, using the bottleneck property of Lemma 2.2.
+func IsMaxMinFair(net *Network, fs Collection, r Routing, a Allocation) error {
+	return core.IsMaxMinFair(net, fs, r, a)
+}
+
+// Throughput returns t(a), the total rate over all flows.
+func Throughput(a Allocation) *big.Rat { return core.Throughput(a) }
+
+// LexCompareSorted compares two allocations by their sorted vectors in
+// lexicographic order (the order of Definitions 2.1 and 2.4), returning
+// -1, 0 or +1.
+func LexCompareSorted(a, b Allocation) int { return rational.LexCompareSorted(a, b) }
+
+// LexMaxMin finds a lex-max-min fair allocation (Definition 2.4) by
+// exhaustive enumeration of the routing space.
+func LexMaxMin(c *Clos, fs Collection, opts SearchOptions) (*SearchResult, error) {
+	return search.LexMaxMin(c, fs, opts)
+}
+
+// ThroughputMaxMin finds a throughput-max-min fair allocation
+// (Definition 2.5) by exhaustive enumeration of the routing space.
+func ThroughputMaxMin(c *Clos, fs Collection, opts SearchOptions) (*SearchResult, error) {
+	return search.ThroughputMaxMin(c, fs, opts)
+}
+
+// IsLocalLexOptimal reports whether no single-flow reroute improves the
+// max-min fair allocation lexicographically.
+func IsLocalLexOptimal(c *Clos, fs Collection, ma MiddleAssignment) (bool, error) {
+	return search.IsLocalLexOptimal(c, fs, ma)
+}
+
+// RelativeResult is the outcome of a relative-max-min-fairness
+// optimization.
+type RelativeResult = search.RelativeResult
+
+// RelativeMaxMin maximizes, over all routings, the minimum per-flow
+// ratio between the Clos max-min fair rate and a target rate (typically
+// the macro-switch rate) — the relative-max-min fairness objective of
+// the paper's conclusions (§7 R2). Exhaustive.
+func RelativeMaxMin(c *Clos, fs Collection, target Vec, opts SearchOptions) (*RelativeResult, error) {
+	return search.RelativeMaxMin(c, fs, target, opts)
+}
+
+// MinMiddlesToRoute probes the multirate-rearrangeability question of §6:
+// the smallest middle-switch count for which the demands become routable
+// on the same ToR/server shape. It returns (m, true) on success within
+// maxMiddles, (0, false) otherwise.
+func MinMiddlesToRoute(c *Clos, fs Collection, demands Vec, maxMiddles, maxNodes int) (int, bool, error) {
+	return search.MinMiddlesToRoute(c, fs, demands, maxMiddles, maxNodes)
+}
+
+// FairSharingFCT simulates max-min fair sharing among all flows at once
+// and returns the exact completion time of each flow (§7 R1 discussion).
+func FairSharingFCT(net *Network, fs Collection, r Routing, sizes Vec) (Vec, error) {
+	return schedule.FairSharing(net, fs, r, sizes)
+}
+
+// MatchingScheduleFCT schedules the flows by repeated maximum matchings
+// transmitting at link capacity (the admission-control regime applied
+// over time) and returns the exact completion time of each flow.
+func MatchingScheduleFCT(fs Collection, sizes Vec) (Vec, error) {
+	return schedule.MatchingRounds(fs, sizes)
+}
+
+// AverageFCT returns the mean of a completion-time vector.
+func AverageFCT(times Vec) *big.Rat { return schedule.AverageFCT(times) }
+
+// FeasibleRouting decides (exactly) whether flows offered with fixed
+// demands admit a routing satisfying all link capacities (§4.1), and
+// returns a witness when one exists. maxNodes caps the search (0 = default).
+func FeasibleRouting(c *Clos, fs Collection, demands Vec, maxNodes int) (MiddleAssignment, bool, error) {
+	return search.FeasibleRouting(c, fs, demands, maxNodes)
+}
+
+// DoomSwitch runs the Doom-Switch algorithm (Algorithm 1): a maximum
+// matching routed link-disjointly via edge coloring, with all remaining
+// flows doomed onto one middle switch.
+func DoomSwitch(c *Clos, fs Collection) (*DoomResult, error) {
+	return doom.Route(c, fs)
+}
+
+// BaselineAlgorithms returns the §6 routing algorithms: ECMP, greedy,
+// local search and first-fit.
+func BaselineAlgorithms() []RoutingAlgorithm { return routing.All() }
+
+// SplittableMaxMin computes the splittable max-min fair allocation over
+// the given candidate paths by exact progressive-filling LPs — the
+// "demand satisfaction" baseline of §1.
+func SplittableMaxMin(net *Network, fs Collection, paths PathSets) (Vec, error) {
+	return lp.SplittableMaxMin(net, fs, paths)
+}
+
+// ClosAllPaths returns all n candidate paths per flow for the splittable
+// relaxation over a Clos network.
+func ClosAllPaths(c *Clos, fs Collection) (PathSets, error) {
+	return lp.ClosAllPaths(c, fs)
+}
+
+// Adversarial constructions (see package adversary).
+var (
+	// Example23 is Figure 1 / Example 2.3 over C_2.
+	Example23 = adversary.Example23
+	// Example53 is Figure 4 / Example 5.3 over C_7.
+	Example53 = adversary.Example53
+	// Theorem34 is the price-of-fairness family of Theorem 3.4.
+	Theorem34 = adversary.Theorem34
+	// Theorem42 is the replication-impossibility family of Theorem 4.2.
+	Theorem42 = adversary.Theorem42
+	// Theorem43 is the starvation family of Theorem 4.3.
+	Theorem43 = adversary.Theorem43
+	// Theorem54 is the Doom-Switch family of Theorem 5.4.
+	Theorem54 = adversary.Theorem54
+)
+
+// VerifyClaim45Arithmetic machine-checks the counting core of Claim 4.5
+// for the given size (see package adversary).
+func VerifyClaim45Arithmetic(n int) error { return adversary.VerifyClaim45Arithmetic(n) }
+
+// FullBisection reports whether a Clos fabric has full bisection
+// bandwidth (§1): middle switches ≥ servers per ToR.
+func FullBisection(c *Clos) bool { return topology.FullBisection(c) }
+
+// Experiments returns every paper experiment with default parameters.
+func Experiments() []ExperimentRunner { return experiments.All() }
+
+// RunExperiment runs the experiment with the given ID (e.g. "F1", "T3").
+func RunExperiment(id string) (*ExperimentTable, error) {
+	r, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}

@@ -1,0 +1,158 @@
+package closnet
+
+import (
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the façade end to end on Example 2.3.
+func TestPublicAPIQuickstart(t *testing.T) {
+	c, err := NewClos(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewMacroSwitch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs := NewCollection(
+		c.Source(1, 2), c.Dest(1, 2),
+		c.Source(1, 2), c.Dest(2, 1),
+		c.Source(1, 2), c.Dest(2, 2),
+		c.Source(2, 1), c.Dest(2, 1),
+		c.Source(2, 2), c.Dest(2, 2),
+		c.Source(1, 1), c.Dest(1, 1),
+	)
+	mfs := NewCollection(
+		ms.Source(1, 2), ms.Dest(1, 2),
+		ms.Source(1, 2), ms.Dest(2, 1),
+		ms.Source(1, 2), ms.Dest(2, 2),
+		ms.Source(2, 1), ms.Dest(2, 1),
+		ms.Source(2, 2), ms.Dest(2, 2),
+		ms.Source(1, 1), ms.Dest(1, 1),
+	)
+
+	macro, err := MacroMaxMinFair(ms, mfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Throughput(macro); got.Cmp(R(10, 3)) != 0 {
+		t.Errorf("macro throughput = %v, want 10/3", got)
+	}
+
+	alloc, err := ClosMaxMinFair(c, fs, MiddleAssignment{2, 1, 2, 1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if LexCompareSorted(alloc, macro) >= 0 {
+		t.Error("Clos allocation should be lex-below the macro allocation")
+	}
+
+	opt, err := LexMaxMin(c, fs, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if LexCompareSorted(opt.Allocation, alloc) != 0 {
+		t.Error("routing A should be lex-max-min for Example 2.3")
+	}
+}
+
+func TestPublicAPIAdversarialAndDoom(t *testing.T) {
+	in, err := Example53()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DoomSwitch(in.Clos, in.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ClosMaxMinFair(in.Clos, in.Flows, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Throughput(a); got.Cmp(R(5, 1)) != 0 {
+		t.Errorf("doom throughput = %v, want 5", got)
+	}
+	if len(in.FlowsOfType(Type1)) != 6 {
+		t.Error("Example 5.3 should have six type-1 flows")
+	}
+}
+
+func TestPublicAPIFeasibilityAndSplittable(t *testing.T) {
+	in, err := Theorem42(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Theorem 4.2 demands should be unroutable")
+	}
+	// The splittable relaxation erases the gap.
+	paths, err := ClosAllPaths(in.Clos, in.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := SplittableMaxMin(in.Clos.Network(), in.Flows, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rates.Equal(in.MacroRates) {
+		t.Error("splittable rates should equal macro rates")
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	c, err := NewClos(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewCollection(c.Source(1, 1), c.Dest(2, 2))
+	r, err := ClosMaxMinFair(c, fs, MiddleAssignment{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routing := make(Routing, 1)
+	p, err := c.Path(fs[0].Src, fs[0].Dst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routing[0] = p
+	if err := IsFeasible(c.Network(), fs, routing, r); err != nil {
+		t.Errorf("IsFeasible: %v", err)
+	}
+	if err := IsMaxMinFair(c.Network(), fs, routing, r); err != nil {
+		t.Errorf("IsMaxMinFair: %v", err)
+	}
+	ok, err := IsLocalLexOptimal(c, fs, MiddleAssignment{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("single-flow instance should be locally optimal")
+	}
+}
+
+func TestPublicAPIExperimentRegistry(t *testing.T) {
+	if got := len(Experiments()); got != 17 {
+		t.Errorf("experiments = %d, want 17", got)
+	}
+	tab, err := RunExperiment("F2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "F2" || len(tab.Rows) != 2 {
+		t.Errorf("unexpected table %+v", tab)
+	}
+	if _, err := RunExperiment("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	if got := len(BaselineAlgorithms()); got != 4 {
+		t.Errorf("baselines = %d, want 4", got)
+	}
+}

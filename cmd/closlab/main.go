@@ -1,0 +1,87 @@
+// Command closlab regenerates the paper's figures and bounds as tables.
+//
+// Usage:
+//
+//	closlab -list              list available experiments
+//	closlab -exp T1            run one experiment
+//	closlab -all               run every experiment
+//	closlab -exp S1 -csv       emit CSV (or -json) instead of aligned text
+//
+// Experiment IDs follow DESIGN.md's per-experiment index: F1, F2, T1,
+// F3, T2, F4, T3, S1, S1b, S2, P1, E1, R1, M1, D1, O1, A1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"closnet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "closlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fl := flag.NewFlagSet("closlab", flag.ContinueOnError)
+	var (
+		list = fl.Bool("list", false, "list available experiments")
+		exp  = fl.String("exp", "", "experiment ID to run (e.g. F1, T3)")
+		all  = fl.Bool("all", false, "run every experiment")
+		csv  = fl.Bool("csv", false, "emit CSV instead of aligned text")
+		js   = fl.Bool("json", false, "emit JSON instead of aligned text")
+	)
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+
+	runners := closnet.Experiments()
+	switch {
+	case *list:
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return nil
+	case *all:
+		for _, r := range runners {
+			if err := emit(r, *csv, *js); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *exp != "":
+		for _, r := range runners {
+			if r.ID == *exp {
+				return emit(r, *csv, *js)
+			}
+		}
+		return fmt.Errorf("unknown experiment %q (try -list)", *exp)
+	default:
+		fl.Usage()
+		return fmt.Errorf("one of -list, -exp or -all is required")
+	}
+}
+
+func emit(r closnet.ExperimentRunner, csv, js bool) error {
+	tab, err := r.Run()
+	if err != nil {
+		return fmt.Errorf("%s: %w", r.ID, err)
+	}
+	switch {
+	case js:
+		out, err := tab.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	case csv:
+		fmt.Print(tab.CSV())
+	default:
+		fmt.Println(tab.String())
+	}
+	return nil
+}

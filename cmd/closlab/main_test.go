@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "F2"}); err != nil {
+		t.Fatalf("-exp F2: %v", err)
+	}
+	if err := run([]string{"-exp", "F2", "-csv"}); err != nil {
+		t.Fatalf("-exp F2 -csv: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunNoModeIsError(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing mode accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{"-exp", "F2", "-json"}); err != nil {
+		t.Fatalf("-exp F2 -json: %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+// Command clostopo inspects the library's topologies: node/link
+// inventory, sample paths, and the full-bisection-bandwidth property of
+// the Clos fabric verified by max-flow.
+//
+// Usage:
+//
+//	clostopo -n 4              inspect C_4 and MS_4
+//	clostopo -n 4 -links       additionally dump every link
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"closnet"
+	"closnet/internal/core"
+	"closnet/internal/maxflow"
+	"closnet/internal/render"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "clostopo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fl := flag.NewFlagSet("clostopo", flag.ContinueOnError)
+	var (
+		n     = fl.Int("n", 2, "network size (middle switches)")
+		links = fl.Bool("links", false, "dump every link")
+		demo  = fl.Bool("demo", false, "render the Example 2.3 allocation over C_2")
+	)
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+
+	if *demo {
+		return runDemo()
+	}
+	c, err := closnet.NewClos(*n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(render.ClosDiagram(c))
+	ms, err := closnet.NewMacroSwitch(*n)
+	if err != nil {
+		return err
+	}
+	for _, net := range []*closnet.Network{c.Network(), ms.Network()} {
+		fmt.Println(net)
+		if *links {
+			for _, l := range net.Links() {
+				capacity := "inf"
+				if !l.Unbounded {
+					capacity = l.Capacity.RatString()
+				}
+				fmt.Printf("  %-14s cap %s\n", net.LinkName(l.ID), capacity)
+			}
+		}
+	}
+
+	// Sample: all n paths between the first source and the last
+	// destination.
+	src, dst := c.Source(1, 1), c.Dest(2*(*n), *n)
+	fmt.Printf("paths %s -> %s:\n", c.Network().Node(src).Name, c.Network().Node(dst).Name)
+	for m := 1; m <= *n; m++ {
+		p, err := c.Path(src, dst, m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  via M%d:", m)
+		for _, l := range p {
+			fmt.Printf(" %s", c.Network().LinkName(l))
+		}
+		fmt.Println()
+	}
+
+	// Full bisection bandwidth: the fabric's input->output max flow must
+	// equal the total server-facing capacity 2n².
+	value, err := fabricMaxFlow(*n)
+	if err != nil {
+		return err
+	}
+	want := int64(2 * (*n) * (*n))
+	fmt.Printf("fabric max flow: %d (server capacity %d) — full bisection bandwidth: %v\n",
+		value, want, value >= want)
+	return nil
+}
+
+// fabricMaxFlow computes the max flow through the C_n fabric from a
+// super-source feeding every input ToR at its server capacity n to a
+// super-sink draining every output ToR likewise.
+func fabricMaxFlow(n int) (int64, error) {
+	num := 1 + 2*n + n + 2*n + 1
+	s, t := 0, num-1
+	input := func(i int) int { return 1 + i }
+	middle := func(m int) int { return 1 + 2*n + m }
+	output := func(o int) int { return 1 + 2*n + n + o }
+	g := maxflow.NewGraph(num)
+	for i := 0; i < 2*n; i++ {
+		if _, err := g.AddEdge(s, input(i), int64(n)); err != nil {
+			return 0, err
+		}
+		if _, err := g.AddEdge(output(i), t, int64(n)); err != nil {
+			return 0, err
+		}
+		for m := 0; m < n; m++ {
+			if _, err := g.AddEdge(input(i), middle(m), 1); err != nil {
+				return 0, err
+			}
+			if _, err := g.AddEdge(middle(m), output(i), 1); err != nil {
+				return 0, err
+			}
+		}
+	}
+	res, err := g.Max(s, t)
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// runDemo renders the Figure 1 instance: topology diagram, per-flow
+// allocation table with bottlenecks, and fabric utilization under the
+// paper's routing A.
+func runDemo() error {
+	in, err := closnet.Example23()
+	if err != nil {
+		return err
+	}
+	fmt.Print(render.ClosDiagram(in.Clos))
+	r, err := core.ClosRouting(in.Clos, in.Flows, in.Witness)
+	if err != nil {
+		return err
+	}
+	a, err := core.MaxMinFair(in.Clos.Network(), in.Flows, r)
+	if err != nil {
+		return err
+	}
+	table, err := render.AllocationTable(in.Clos.Network(), in.Flows, r, a)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(table)
+	fmt.Println()
+	fmt.Print(render.FabricUtilization(in.Clos, r, a))
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run([]string{"-n", "2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithLinks(t *testing.T) {
+	if err := run([]string{"-n", "1", "-links"}); err != nil {
+		t.Fatalf("run -links: %v", err)
+	}
+}
+
+func TestRunBadSize(t *testing.T) {
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestFabricMaxFlowMatchesServerCapacity(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		v, err := fabricMaxFlow(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(2 * n * n); v != want {
+			t.Errorf("n=%d: fabric flow %d, want %d", n, v, want)
+		}
+	}
+}
+
+func TestRunDemo(t *testing.T) {
+	if err := run([]string{"-demo"}); err != nil {
+		t.Fatalf("run -demo: %v", err)
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunVerifiesSmallRanges(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-max-n", "4", "-max-k", "4"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "checks passed") {
+		t.Errorf("missing summary in output:\n%s", out.String())
+	}
+}
+
+func TestRunVerbosePrintsEveryCheck(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-max-n", "3", "-max-k", "2", "-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"theorem 3.4", "theorem 4.2", "theorem 4.3", "theorem 5.4"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("verbose output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestMin(t *testing.T) {
+	if min(2, 3) != 2 || min(5, 1) != 1 {
+		t.Error("min broken")
+	}
+}

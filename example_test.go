@@ -1,0 +1,69 @@
+package closnet_test
+
+import (
+	"fmt"
+
+	"closnet"
+)
+
+// ExampleClosMaxMinFair reproduces the core of Example 2.3: the max-min
+// fair allocation in C_2 under the paper's first routing.
+func ExampleClosMaxMinFair() {
+	c, _ := closnet.NewClos(2)
+	flows := closnet.NewCollection(
+		c.Source(1, 2), c.Dest(1, 2),
+		c.Source(1, 2), c.Dest(2, 1),
+		c.Source(1, 2), c.Dest(2, 2),
+		c.Source(2, 1), c.Dest(2, 1),
+		c.Source(2, 2), c.Dest(2, 2),
+		c.Source(1, 1), c.Dest(1, 1),
+	)
+	rates, _ := closnet.ClosMaxMinFair(c, flows, closnet.MiddleAssignment{2, 1, 2, 1, 2, 1})
+	fmt.Println(rates.SortedCopy())
+	// Output: [1/3, 1/3, 1/3, 2/3, 2/3, 2/3]
+}
+
+// ExampleMacroMaxMinFair shows the macro-switch abstraction promising
+// more than the Clos network can deliver for the same flows.
+func ExampleMacroMaxMinFair() {
+	ms, _ := closnet.NewMacroSwitch(2)
+	flows := closnet.NewCollection(
+		ms.Source(1, 2), ms.Dest(1, 2),
+		ms.Source(1, 2), ms.Dest(2, 1),
+		ms.Source(1, 2), ms.Dest(2, 2),
+		ms.Source(2, 1), ms.Dest(2, 1),
+		ms.Source(2, 2), ms.Dest(2, 2),
+		ms.Source(1, 1), ms.Dest(1, 1),
+	)
+	rates, _ := closnet.MacroMaxMinFair(ms, flows)
+	fmt.Println(rates.SortedCopy(), closnet.Throughput(rates))
+	// Output: [1/3, 1/3, 1/3, 2/3, 2/3, 1] 10/3
+}
+
+// ExampleDoomSwitch runs Algorithm 1 on the Figure 4 instance and shows
+// the throughput doubling at the doomed flows' expense.
+func ExampleDoomSwitch() {
+	in, _ := closnet.Example53()
+	res, _ := closnet.DoomSwitch(in.Clos, in.Flows)
+	rates, _ := closnet.ClosMaxMinFair(in.Clos, in.Flows, res.Assignment)
+	fmt.Println(closnet.Throughput(rates), "vs macro", closnet.Throughput(in.MacroRates))
+	// Output: 5/1 vs macro 9/2
+}
+
+// ExampleLexMaxMin finds the fairest routing of Example 2.3 by
+// exhaustive search.
+func ExampleLexMaxMin() {
+	in, _ := closnet.Example23()
+	opt, _ := closnet.LexMaxMin(in.Clos, in.Flows, closnet.SearchOptions{})
+	fmt.Println(opt.Allocation.SortedCopy())
+	// Output: [1/3, 1/3, 1/3, 2/3, 2/3, 2/3]
+}
+
+// ExampleFeasibleRouting certifies Theorem 4.2's impossibility: the
+// macro-switch rates of the adversarial collection admit no routing.
+func ExampleFeasibleRouting() {
+	in, _ := closnet.Theorem42(3)
+	_, ok, _ := closnet.FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0)
+	fmt.Println("replicable:", ok)
+	// Output: replicable: false
+}

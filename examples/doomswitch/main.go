@@ -1,0 +1,85 @@
+// Doomswitch runs Algorithm 1 on the Figure 4 instance and on its
+// generalizations: routing for throughput nearly doubles the max-min
+// throughput of the macro-switch, but only by crushing the rates of the
+// doomed flows — Theorem 5.4's incongruence between maximizing
+// throughput and satisfying demands.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"closnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Figure 4 walkthrough.
+	in, err := closnet.Example53()
+	if err != nil {
+		return err
+	}
+	res, err := closnet.DoomSwitch(in.Clos, in.Flows)
+	if err != nil {
+		return err
+	}
+	a, err := closnet.ClosMaxMinFair(in.Clos, in.Flows, res.Assignment)
+	if err != nil {
+		return err
+	}
+	macro, err := closnet.MacroMaxMinFair(in.Macro, in.MacroFlows)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Example 5.3 (Figure 4), C_7 with 6 type-1 and 3 type-2 flows:")
+	fmt.Printf("  macro-switch: every rate 1/2, throughput %s\n", closnet.Throughput(macro).RatString())
+	fmt.Printf("  Doom-Switch:  matched %d flows link-disjointly, doomed the rest onto M%d\n",
+		res.MatchedCount(), res.DoomMiddle)
+	for fi, rate := range a {
+		role := "doomed "
+		if res.Matched[fi] {
+			role = "matched"
+		}
+		fmt.Printf("    flow %d (%s): rate %s\n", fi, role, rate.RatString())
+	}
+	fmt.Printf("  throughput %s (gain %s over the macro-switch)\n\n",
+		closnet.Throughput(a).RatString(), gain(closnet.Throughput(a), closnet.Throughput(macro)))
+
+	// The sweep: the gain approaches 2 as n and k grow.
+	fmt.Println("Theorem 5.4 sweep (gain -> 2(1 - 1/(n-1)) as k grows):")
+	fmt.Printf("%4s %5s  %-10s %-10s %s\n", "n", "k", "T^MmF", "T(doom)", "gain")
+	for _, n := range []int{5, 7, 11, 15} {
+		for _, k := range []int{1, 8, 64} {
+			in, err := closnet.Theorem54(n, k)
+			if err != nil {
+				return err
+			}
+			res, err := closnet.DoomSwitch(in.Clos, in.Flows)
+			if err != nil {
+				return err
+			}
+			a, err := closnet.ClosMaxMinFair(in.Clos, in.Flows, res.Assignment)
+			if err != nil {
+				return err
+			}
+			macro, err := closnet.MacroMaxMinFair(in.Macro, in.MacroFlows)
+			if err != nil {
+				return err
+			}
+			td, tm := closnet.Throughput(a), closnet.Throughput(macro)
+			fmt.Printf("%4d %5d  %-10s %-10s %s\n", n, k, tm.RatString(), td.RatString(), gain(td, tm))
+		}
+	}
+	return nil
+}
+
+func gain(num, den *big.Rat) string {
+	f, _ := new(big.Rat).Quo(num, den).Float64()
+	return fmt.Sprintf("%.4fx", f)
+}

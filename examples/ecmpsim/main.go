@@ -1,0 +1,34 @@
+// Ecmpsim runs the §6-style stochastic routing evaluation: flows are
+// offered with their macro-switch rates, routed by the four baseline
+// algorithms, and re-allocated by max-min fair congestion control. On
+// stochastic inputs the congestion-aware algorithms track the macro
+// rates well; on the adversarial starvation family, no algorithm can.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"closnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tab, err := closnet.RunExperiment("S1")
+	if err != nil {
+		return err
+	}
+	fmt.Println(tab)
+
+	adv, err := closnet.RunExperiment("S1b")
+	if err != nil {
+		return err
+	}
+	fmt.Println(adv)
+	return nil
+}

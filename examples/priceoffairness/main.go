@@ -1,0 +1,44 @@
+// Priceoffairness reproduces Theorem 3.4's message on the adversarial
+// family: imposing max-min fair rates on a macro-switch forfeits up to
+// half of the maximum throughput, and the loss is driven by "parasitic"
+// parallel flows that an admission controller would simply reject.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"closnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("Theorem 3.4: price of fairness T^MmF / T^MT on MS_1 with k parasitic flows")
+	fmt.Printf("%6s  %-10s  %-6s  %-10s\n", "k", "T^MmF", "T^MT", "ratio")
+	for k := 1; k <= 1024; k *= 4 {
+		in, err := closnet.Theorem34(1, k)
+		if err != nil {
+			return err
+		}
+		mmf, err := closnet.MacroMaxMinFair(in.Macro, in.MacroFlows)
+		if err != nil {
+			return err
+		}
+		tm := closnet.Throughput(mmf)
+		// On this family the maximum throughput is 2: both type-1 flows
+		// at rate 1, every parasitic type-2 flow at rate 0 (Lemma 3.2).
+		tmt := closnet.R(2, 1)
+		ratio, _ := new(big.Rat).Quo(tm, tmt).Float64()
+		fmt.Printf("%6d  %-10s  %-6s  %.6f\n", k, tm.RatString(), tmt.RatString(), ratio)
+	}
+	fmt.Println("\nthe ratio approaches the tight bound 1/2 as k grows:")
+	fmt.Println("congestion control serves k flows the admission controller would reject,")
+	fmt.Println("and those flows throttle both high-value flows to 1/(k+1).")
+	return nil
+}

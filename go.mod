@@ -1,0 +1,3 @@
+module closnet
+
+go 1.22

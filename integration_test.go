@@ -1,0 +1,192 @@
+package closnet
+
+// Integration tests exercise complete pipelines across modules: workload
+// generation → routing → congestion control → comparison against the
+// macro-switch abstraction, plus the save/replay loop through the codec.
+
+import (
+	"math/rand"
+	"testing"
+
+	"closnet/internal/codec"
+	"closnet/internal/core"
+	"closnet/internal/rational"
+	"closnet/internal/routing"
+	"closnet/internal/topology"
+	"closnet/internal/workload"
+)
+
+// TestPipelineStochasticRouting mirrors experiment S1 end to end with
+// the exact allocator: generate a workload, compute macro rates, route
+// with every baseline algorithm, water-fill, and check the fundamental
+// inequalities tie together.
+func TestPipelineStochasticRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	c := topology.MustClos(3)
+	ms := topology.MustMacroSwitch(3)
+	pair, err := workload.Uniform(rng, c, ms, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macro, err := core.MacroMaxMinFair(ms, pair.Macro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := make([]float64, len(macro))
+	for i, r := range macro {
+		demands[i] = rational.Float(r)
+	}
+	for _, alg := range routing.All() {
+		t.Run(alg.Name, func(t *testing.T) {
+			ma, err := alg.Route(c, pair.Clos, demands, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := core.ClosMaxMinFair(c, pair.Clos, ma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every Clos allocation is feasible in the macro-switch, so
+			// its sorted vector is lex-dominated by the macro optimum
+			// (§2.3).
+			if rational.LexCompareSorted(a, macro) > 0 {
+				t.Error("Clos allocation lex-above the macro optimum")
+			}
+			// Theorem 5.4's ceiling applies to any routing's throughput.
+			bound := rational.Mul(rational.Int(2), core.Throughput(macro))
+			if core.Throughput(a).Cmp(bound) > 0 {
+				t.Error("throughput above 2x the macro max-min throughput")
+			}
+			// And the allocation engine agrees with itself.
+			r, err := core.ClosRouting(c, pair.Clos, ma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := core.IsMaxMinFair(c.Network(), pair.Clos, r, a); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestPipelineDoomVsSearch: on a small instance, the Doom-Switch routing
+// is compared against the exhaustive throughput-max-min optimum — the
+// algorithm is an approximation and must never exceed it.
+func TestPipelineDoomVsSearch(t *testing.T) {
+	in, err := Example23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DoomSwitch(in.Clos, in.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomAlloc, err := ClosMaxMinFair(in.Clos, in.Flows, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := ThroughputMaxMin(in.Clos, in.Flows, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Throughput(doomAlloc).Cmp(Throughput(opt.Allocation)) > 0 {
+		t.Errorf("doom throughput %v exceeds the exhaustive optimum %v",
+			Throughput(doomAlloc), Throughput(opt.Allocation))
+	}
+}
+
+// TestPipelineScenarioReplay: adversarial instance → JSON → rebuild →
+// identical allocation, crossing codec, topology, core and adversary.
+func TestPipelineScenarioReplay(t *testing.T) {
+	in, err := Theorem54(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := codec.FromInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := codec.Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := codec.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, fs, _, ma, err := back.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := core.ClosMaxMinFair(c, fs, ma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	original, err := ClosMaxMinFair(in.Clos, in.Flows, in.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt.Equal(original) {
+		t.Error("replayed scenario produced a different allocation")
+	}
+}
+
+// TestPipelineSchedulingConsistency: the static scheduler (exact) and
+// the public facade agree on the Theorem 3.4 family.
+func TestPipelineSchedulingConsistency(t *testing.T) {
+	in, err := Theorem34(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make(Routing, len(in.MacroFlows))
+	for fi, f := range in.MacroFlows {
+		p, err := in.Macro.Path(f.Src, f.Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r[fi] = p
+	}
+	sizes := make(Vec, len(in.MacroFlows))
+	for i := range sizes {
+		sizes[i] = R(1, 1)
+	}
+	fair, err := FairSharingFCT(in.Macro.Network(), in.MacroFlows, r, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := MatchingScheduleFCT(in.MacroFlows, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AverageFCT(sched).Cmp(AverageFCT(fair)) >= 0 {
+		t.Error("scheduler not faster on average")
+	}
+}
+
+// TestPipelineRelativeFairnessAndMinMiddles: the facade's relative
+// fairness and rearrangeability probes compose with the adversarial
+// instances.
+func TestPipelineRelativeFairnessAndMinMiddles(t *testing.T) {
+	in, err := Example23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := RelativeMaxMin(in.Clos, in.Flows, in.MacroRates, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.MinRatio.Cmp(R(3, 4)) != 0 {
+		t.Errorf("relative optimum = %v, want 3/4", rel.MinRatio)
+	}
+	t42, err := Theorem42(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := MinMiddlesToRoute(t42.Clos, t42.Flows, t42.MacroRates, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || m != 4 {
+		t.Errorf("min middles = %d (ok=%v), want 4", m, ok)
+	}
+}

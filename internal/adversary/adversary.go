@@ -1,0 +1,321 @@
+// Package adversary builds the adversarial flow collections used by the
+// paper's examples and theorems, parameterized by network size n and
+// multiplicity k, together with their posited allocations:
+//
+//   - Example23        — Figure 1 / Example 2.3 (C_2)
+//   - Theorem34(n, k)  — Figure 2 / Example 3.3 generalized (MS_n): the
+//     price-of-fairness family with T^MmF/T^MT → 1/2
+//   - Theorem42(n)     — Figure 3 / Example 4.1 (C_n, n ≥ 3): macro-switch
+//     max-min rates that no routing can replicate
+//   - Theorem43(n)     — §4.2 (C_n, n ≥ 3): the starvation family where the
+//     lex-max-min rate of the type-3 flow is 1/n of its macro rate
+//   - Theorem54(n, k)  — Figure 4 / Example 5.3 generalized (C_n, odd n):
+//     the Doom-Switch family where throughput-max-min fairness doubles
+//     throughput while crushing type-2 rates
+//
+// Every instance carries the flow collection over both the Clos network
+// and its macro-switch (parallel indexing), the paper's posited
+// macro-switch max-min rates, and, where the paper exhibits one, a
+// witness routing with its posited Clos max-min rates. Tests verify all
+// posited values against the allocation engine.
+package adversary
+
+import (
+	"fmt"
+
+	"closnet/internal/core"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// FlowType labels flows with the paper's type taxonomy.
+type FlowType int
+
+// Flow types as named in the paper's constructions.
+const (
+	Type1 FlowType = iota + 1
+	Type2a
+	Type2b
+	Type3
+)
+
+// String returns the paper's name for the type.
+func (t FlowType) String() string {
+	switch t {
+	case Type1:
+		return "type-1"
+	case Type2a:
+		return "type-2.a"
+	case Type2b:
+		return "type-2.b"
+	case Type3:
+		return "type-3"
+	default:
+		return fmt.Sprintf("FlowType(%d)", int(t))
+	}
+}
+
+// Instance is an adversarial flow collection with its posited data.
+type Instance struct {
+	Name string
+	N    int // network size (middle switches)
+	K    int // multiplicity parameter, 0 if unused
+
+	Clos  *topology.Clos
+	Macro *topology.MacroSwitch
+
+	// Flows over the Clos network and, with identical indexing, over the
+	// macro-switch.
+	Flows      core.Collection
+	MacroFlows core.Collection
+	Types      []FlowType
+
+	// MacroRates is the posited max-min fair allocation in the
+	// macro-switch.
+	MacroRates rational.Vec
+
+	// Witness is the paper's witness routing in the Clos network, if the
+	// construction exhibits one, with its posited max-min fair rates.
+	// ExactWitness reports whether WitnessRates is claimed exactly (for
+	// Theorem54 the closed form holds only when 2(k+1) ≤ (n-1)k).
+	Witness      core.MiddleAssignment
+	WitnessRates rational.Vec
+	ExactWitness bool
+}
+
+// FlowsOfType returns the indices of flows with the given type.
+func (in *Instance) FlowsOfType(t FlowType) []int {
+	var idx []int
+	for i, ft := range in.Types {
+		if ft == t {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// builder accumulates parallel Clos/macro collections.
+type builder struct {
+	c     *topology.Clos
+	ms    *topology.MacroSwitch
+	inst  *Instance
+	rates rational.Vec
+}
+
+func newBuilder(name string, n, k int) (*builder, error) {
+	c, err := topology.NewClos(n)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := topology.NewMacroSwitch(n)
+	if err != nil {
+		return nil, err
+	}
+	return &builder{
+		c:  c,
+		ms: ms,
+		inst: &Instance{
+			Name:  name,
+			N:     n,
+			K:     k,
+			Clos:  c,
+			Macro: ms,
+		},
+	}, nil
+}
+
+// add appends `count` flows s_si^sj -> t_di^dj with the given type and
+// posited macro rate p/q.
+func (b *builder) add(si, sj, di, dj int, t FlowType, count int, p, q int64) {
+	in := b.inst
+	for c := 0; c < count; c++ {
+		in.Flows = append(in.Flows, core.Flow{Src: b.c.Source(si, sj), Dst: b.c.Dest(di, dj)})
+		in.MacroFlows = append(in.MacroFlows, core.Flow{Src: b.ms.Source(si, sj), Dst: b.ms.Dest(di, dj)})
+		in.Types = append(in.Types, t)
+		b.rates = append(b.rates, rational.R(p, q))
+	}
+}
+
+func (b *builder) finish() *Instance {
+	b.inst.MacroRates = b.rates
+	return b.inst
+}
+
+// Example23 builds the Figure 1 / Example 2.3 collection over C_2, with
+// the paper's first routing (type-1 flow (s1.2, t2.1) via M1) as witness.
+func Example23() (*Instance, error) {
+	b, err := newBuilder("example-2.3", 2, 0)
+	if err != nil {
+		return nil, err
+	}
+	b.add(1, 2, 1, 2, Type1, 1, 1, 3)
+	b.add(1, 2, 2, 1, Type1, 1, 1, 3)
+	b.add(1, 2, 2, 2, Type1, 1, 1, 3)
+	b.add(2, 1, 2, 1, Type2a, 1, 2, 3)
+	b.add(2, 2, 2, 2, Type2a, 1, 2, 3)
+	b.add(1, 1, 1, 1, Type3, 1, 1, 1)
+	in := b.finish()
+	in.Witness = core.MiddleAssignment{2, 1, 2, 1, 2, 1}
+	in.WitnessRates = rational.VecOf(1, 3, 1, 3, 1, 3, 2, 3, 2, 3, 2, 3)
+	in.ExactWitness = true
+	return in, nil
+}
+
+// Theorem34 builds the price-of-fairness family of Theorem 3.4 in MS_n:
+// two type-1 flows that a maximum-throughput allocation serves at rate 1,
+// plus k parallel type-2 flows (s2.1 -> t1.1) that drag every max-min
+// fair rate down to 1/(k+1). T^MT = 2 while T^MmF = 1 + 1/(k+1).
+func Theorem34(n, k int) (*Instance, error) {
+	if n < 1 || k < 1 {
+		return nil, fmt.Errorf("adversary: Theorem34 needs n ≥ 1, k ≥ 1 (got n=%d, k=%d)", n, k)
+	}
+	b, err := newBuilder(fmt.Sprintf("theorem-3.4(n=%d,k=%d)", n, k), n, k)
+	if err != nil {
+		return nil, err
+	}
+	d := int64(k + 1)
+	b.add(1, 1, 1, 1, Type1, 1, 1, d)
+	b.add(2, 1, 2, 1, Type1, 1, 1, d)
+	b.add(2, 1, 1, 1, Type2a, k, 1, d)
+	return b.finish(), nil
+}
+
+// Theorem42 builds the replication-impossibility family of Theorem 4.2 /
+// Example 4.1 over C_n (n ≥ 3). The macro-switch max-min rates (type-1
+// and type-3 at 1, type-2 at 1/n) admit no feasible routing in C_n.
+func Theorem42(n int) (*Instance, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("adversary: Theorem42 needs n ≥ 3 (got %d)", n)
+	}
+	return theorem4x(n, 1)
+}
+
+// Theorem43 builds the starvation family of Theorem 4.3 over C_n
+// (n ≥ 3): Theorem42's collection with each type-1 flow replaced by n+1
+// parallel copies. In the macro-switch the type-3 flow has rate 1; in any
+// lex-max-min fair allocation of C_n it has rate 1/n (Lemma 4.6). The
+// instance carries the witness routing of Lemma 4.6 Step 1.
+func Theorem43(n int) (*Instance, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("adversary: Theorem43 needs n ≥ 3 (got %d)", n)
+	}
+	return theorem4x(n, n+1)
+}
+
+// theorem4x builds the §4 constructions with `copies` parallel type-1
+// flows per pair (1 for Theorem 4.2, n+1 for Theorem 4.3).
+func theorem4x(n, copies int) (*Instance, error) {
+	name := fmt.Sprintf("theorem-4.2(n=%d)", n)
+	if copies > 1 {
+		name = fmt.Sprintf("theorem-4.3(n=%d)", n)
+	}
+	b, err := newBuilder(name, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	var witness core.MiddleAssignment
+	// Type-1 flows: copies × (s_i^j, t_i^j), i ∈ [n], j ∈ [2, n], macro
+	// rate 1/copies; Lemma 4.6 witness: middle (i+j-2 mod n) + 1.
+	for i := 1; i <= n; i++ {
+		for j := 2; j <= n; j++ {
+			b.add(i, j, i, j, Type1, copies, 1, int64(copies))
+			m := (i+j-2)%n + 1
+			for c := 0; c < copies; c++ {
+				witness = append(witness, m)
+			}
+		}
+	}
+	// Type-2.a flows: (s_i^1, t_i^1), i ∈ [n], macro rate 1/n; witness
+	// middle M_i.
+	for i := 1; i <= n; i++ {
+		b.add(i, 1, i, 1, Type2a, 1, 1, int64(n))
+		witness = append(witness, i)
+	}
+	// Type-2.b flows: (s_i^1, t_{n+1}^j), i ∈ [n], j ∈ [n-1], macro rate
+	// 1/n; witness middle M_i.
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n-1; j++ {
+			b.add(i, 1, n+1, j, Type2b, 1, 1, int64(n))
+			witness = append(witness, i)
+		}
+	}
+	// Type-3 flow: (s_{n+1}^n, t_{n+1}^n), macro rate 1; witness M_n.
+	b.add(n+1, n, n+1, n, Type3, 1, 1, 1)
+	witness = append(witness, n)
+
+	in := b.finish()
+	if copies > 1 {
+		in.Witness = witness
+		in.WitnessRates = make(rational.Vec, len(in.Flows))
+		for fi, t := range in.Types {
+			switch t {
+			case Type1:
+				in.WitnessRates[fi] = rational.R(1, int64(copies))
+			default: // Type2a, Type2b, Type3 all sit at 1/n
+				in.WitnessRates[fi] = rational.R(1, int64(n))
+			}
+		}
+		in.ExactWitness = true
+	}
+	return in, nil
+}
+
+// Theorem54 builds the Doom-Switch family of Theorem 5.4 / Figure 4 over
+// C_n (odd n ≥ 3): (n-1)/2 stacked copies of the Theorem 3.4 gadget, all
+// re-indexed onto input switch I_1 and output switch O_1, with k type-2
+// flows per gadget. The witness routing is the Doom-Switch output: type-1
+// flow j on M_j, every type-2 flow on M_n.
+//
+// The closed-form witness rates — type-1 at (n-3)/(n-1), type-2 at
+// 2/((n-1)k) — hold exactly iff 2(k+1) ≤ (n-1)k (ExactWitness); for
+// smaller n the type-2 flows hit their server links first.
+func Theorem54(n, k int) (*Instance, error) {
+	if n < 3 || n%2 == 0 {
+		return nil, fmt.Errorf("adversary: Theorem54 needs odd n ≥ 3 (got %d)", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("adversary: Theorem54 needs k ≥ 1 (got %d)", k)
+	}
+	b, err := newBuilder(fmt.Sprintf("theorem-5.4(n=%d,k=%d)", n, k), n, k)
+	if err != nil {
+		return nil, err
+	}
+	var witness core.MiddleAssignment
+	d := int64(k + 1)
+	// Type-1 flows: (s_1^j, t_1^j), j ∈ [n-1], macro rate 1/(k+1).
+	for j := 1; j <= n-1; j++ {
+		b.add(1, j, 1, j, Type1, 1, 1, d)
+		witness = append(witness, j)
+	}
+	// Type-2 flows: k × (s_1^j, t_1^{j-1}) for even j, macro rate 1/(k+1).
+	for j := 2; j <= n-1; j += 2 {
+		b.add(1, j, 1, j-1, Type2a, k, 1, d)
+		for c := 0; c < k; c++ {
+			witness = append(witness, n)
+		}
+	}
+	in := b.finish()
+	in.Witness = witness
+	in.ExactWitness = 2*(k+1) <= (n-1)*k
+	if in.ExactWitness {
+		in.WitnessRates = make(rational.Vec, len(in.Flows))
+		for fi, t := range in.Types {
+			if t == Type1 {
+				in.WitnessRates[fi] = rational.R(int64(n-3), int64(n-1))
+			} else {
+				in.WitnessRates[fi] = rational.R(2, int64((n-1)*k))
+			}
+		}
+	}
+	return in, nil
+}
+
+// Example53 is the Figure 4 instance: Theorem54 with n = 7, k = 1.
+func Example53() (*Instance, error) {
+	in, err := Theorem54(7, 1)
+	if err != nil {
+		return nil, err
+	}
+	in.Name = "example-5.3"
+	return in, nil
+}

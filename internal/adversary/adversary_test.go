@@ -1,0 +1,292 @@
+package adversary
+
+import (
+	"testing"
+
+	"closnet/internal/core"
+	"closnet/internal/matching"
+	"closnet/internal/rational"
+)
+
+// checkMacro verifies the instance's posited macro-switch max-min rates
+// against the allocation engine and the bottleneck property.
+func checkMacro(t *testing.T, in *Instance) {
+	t.Helper()
+	a, err := core.MacroMaxMinFair(in.Macro, in.MacroFlows)
+	if err != nil {
+		t.Fatalf("%s: macro waterfill: %v", in.Name, err)
+	}
+	if !a.Equal(in.MacroRates) {
+		t.Fatalf("%s: macro rates = %v, want %v", in.Name, a, in.MacroRates)
+	}
+}
+
+// checkWitness verifies the posited witness routing rates.
+func checkWitness(t *testing.T, in *Instance) {
+	t.Helper()
+	if in.Witness == nil || !in.ExactWitness {
+		return
+	}
+	a, err := core.ClosMaxMinFair(in.Clos, in.Flows, in.Witness)
+	if err != nil {
+		t.Fatalf("%s: witness waterfill: %v", in.Name, err)
+	}
+	if !a.Equal(in.WitnessRates) {
+		t.Fatalf("%s: witness rates = %v, want %v", in.Name, a, in.WitnessRates)
+	}
+}
+
+func TestExample23(t *testing.T) {
+	in, err := Example23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Flows) != 6 || len(in.MacroFlows) != 6 {
+		t.Fatalf("flow count = %d", len(in.Flows))
+	}
+	checkMacro(t, in)
+	checkWitness(t, in)
+	if got := in.FlowsOfType(Type1); len(got) != 3 {
+		t.Errorf("type-1 flows = %v", got)
+	}
+	if got := in.FlowsOfType(Type3); len(got) != 1 {
+		t.Errorf("type-3 flows = %v", got)
+	}
+}
+
+func TestTheorem34(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{1, 1}, {1, 5}, {2, 3}, {4, 8}} {
+		in, err := Theorem34(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(in.Flows) != tc.k+2 {
+			t.Fatalf("n=%d k=%d: flow count %d, want %d", tc.n, tc.k, len(in.Flows), tc.k+2)
+		}
+		checkMacro(t, in)
+		// T^MmF = 1 + 1/(k+1).
+		wantT := rational.Add(rational.One(), rational.R(1, int64(tc.k+1)))
+		if got := core.Throughput(in.MacroRates); got.Cmp(wantT) != 0 {
+			t.Errorf("n=%d k=%d: T^MmF = %s, want %s", tc.n, tc.k, rational.String(got), rational.String(wantT))
+		}
+		// T^MT = 2 via maximum matching of G^MS (Lemma 3.2).
+		g := matching.Graph{NumLeft: len(in.Flows), NumRight: len(in.Flows)}
+		srcIdx := map[int]int{}
+		dstIdx := map[int]int{}
+		for _, f := range in.MacroFlows {
+			if _, ok := srcIdx[int(f.Src)]; !ok {
+				srcIdx[int(f.Src)] = len(srcIdx)
+			}
+			if _, ok := dstIdx[int(f.Dst)]; !ok {
+				dstIdx[int(f.Dst)] = len(dstIdx)
+			}
+			g.Edges = append(g.Edges, matching.Edge{Left: srcIdx[int(f.Src)], Right: dstIdx[int(f.Dst)]})
+		}
+		m, err := matching.MaxMatching(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m) != 2 {
+			t.Errorf("n=%d k=%d: T^MT = %d, want 2", tc.n, tc.k, len(m))
+		}
+	}
+}
+
+func TestTheorem34Errors(t *testing.T) {
+	if _, err := Theorem34(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Theorem34(1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestTheorem42(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		in, err := Theorem42(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := n*(n-1) + n + n*(n-1) + 1
+		if len(in.Flows) != want {
+			t.Fatalf("n=%d: flow count %d, want %d", n, len(in.Flows), want)
+		}
+		checkMacro(t, in)
+		if in.Witness != nil {
+			t.Error("Theorem42 should have no witness routing")
+		}
+	}
+	if _, err := Theorem42(2); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+func TestTheorem43(t *testing.T) {
+	for _, n := range []int{3, 4, 6} {
+		in, err := Theorem43(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := n*(n-1)*(n+1) + n + n*(n-1) + 1
+		if len(in.Flows) != want {
+			t.Fatalf("n=%d: flow count %d, want %d", n, len(in.Flows), want)
+		}
+		// Lemma 4.4: macro rates.
+		checkMacro(t, in)
+		// Lemma 4.6 step 1: the witness routing's max-min fair rates.
+		checkWitness(t, in)
+		// The starvation ratio: type-3 macro rate 1 vs witness rate 1/n.
+		t3 := in.FlowsOfType(Type3)[0]
+		if in.MacroRates[t3].Cmp(rational.One()) != 0 {
+			t.Errorf("n=%d: type-3 macro rate %s", n, rational.String(in.MacroRates[t3]))
+		}
+		if in.WitnessRates[t3].Cmp(rational.R(1, int64(n))) != 0 {
+			t.Errorf("n=%d: type-3 witness rate %s, want 1/%d", n, rational.String(in.WitnessRates[t3]), n)
+		}
+	}
+	if _, err := Theorem43(2); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+func TestTheorem54(t *testing.T) {
+	for _, tc := range []struct {
+		n, k  int
+		exact bool
+	}{
+		{7, 1, true},  // Example 5.3: 2(k+1)=4 ≤ (n-1)k=6
+		{5, 2, true},  // 6 ≤ 8
+		{5, 1, true},  // 4 ≤ 4 (boundary)
+		{3, 4, false}, // 10 > 8
+		{15, 8, true}, // 18 ≤ 112
+	} {
+		in, err := Theorem54(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.ExactWitness != tc.exact {
+			t.Fatalf("n=%d k=%d: ExactWitness = %v, want %v", tc.n, tc.k, in.ExactWitness, tc.exact)
+		}
+		wantFlows := (tc.n - 1) + (tc.n-1)/2*tc.k
+		if len(in.Flows) != wantFlows {
+			t.Fatalf("n=%d k=%d: flow count %d, want %d", tc.n, tc.k, len(in.Flows), wantFlows)
+		}
+		checkMacro(t, in)
+		// T^MmF = (n-1)/2 · (1 + 1/(k+1)).
+		wantT := rational.Mul(rational.R(int64(tc.n-1), 2),
+			rational.Add(rational.One(), rational.R(1, int64(tc.k+1))))
+		if got := core.Throughput(in.MacroRates); got.Cmp(wantT) != 0 {
+			t.Errorf("n=%d k=%d: T^MmF = %s, want %s", tc.n, tc.k, rational.String(got), rational.String(wantT))
+		}
+		checkWitness(t, in)
+		if in.ExactWitness {
+			// Doom-Switch throughput: exactly n-2.
+			if got := core.Throughput(in.WitnessRates); got.Cmp(rational.Int(int64(tc.n-2))) != 0 {
+				t.Errorf("n=%d k=%d: witness throughput = %s, want %d", tc.n, tc.k, rational.String(got), tc.n-2)
+			}
+		}
+	}
+	if _, err := Theorem54(4, 1); err == nil {
+		t.Error("even n accepted")
+	}
+	if _, err := Theorem54(3, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// TestTheorem54WitnessDominatesBoundEvenWhenInexact: for parameter
+// choices where the closed form does not hold, the witness routing is
+// still valid and its throughput still respects T ≤ 2·T^MmF.
+func TestTheorem54WitnessInexactParameters(t *testing.T) {
+	in, err := Theorem54(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.ExactWitness {
+		t.Fatal("n=3,k=4 should not claim exact witness rates")
+	}
+	a, err := core.ClosMaxMinFair(in.Clos, in.Flows, in.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := rational.Mul(rational.Int(2), core.Throughput(in.MacroRates))
+	if core.Throughput(a).Cmp(bound) > 0 {
+		t.Errorf("witness throughput %s exceeds 2·T^MmF %s",
+			rational.String(core.Throughput(a)), rational.String(bound))
+	}
+}
+
+func TestExample53(t *testing.T) {
+	in, err := Example53()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N != 7 || in.K != 1 {
+		t.Fatalf("n=%d k=%d", in.N, in.K)
+	}
+	if len(in.Flows) != 9 {
+		t.Fatalf("flow count %d, want 9", len(in.Flows))
+	}
+	checkMacro(t, in)
+	checkWitness(t, in)
+	// Figure 4's numbers: macro throughput 9/2, doom throughput 5;
+	// type-1 rates 1/2 → 2/3, type-2 rates 1/2 → 1/3.
+	if got := core.Throughput(in.MacroRates); got.Cmp(rational.R(9, 2)) != 0 {
+		t.Errorf("macro throughput = %s, want 9/2", rational.String(got))
+	}
+	if got := core.Throughput(in.WitnessRates); got.Cmp(rational.Int(5)) != 0 {
+		t.Errorf("doom throughput = %s, want 5", rational.String(got))
+	}
+	for _, fi := range in.FlowsOfType(Type1) {
+		if in.WitnessRates[fi].Cmp(rational.R(2, 3)) != 0 {
+			t.Errorf("type-1 witness rate = %s, want 2/3", rational.String(in.WitnessRates[fi]))
+		}
+	}
+	for _, fi := range in.FlowsOfType(Type2a) {
+		if in.WitnessRates[fi].Cmp(rational.R(1, 3)) != 0 {
+			t.Errorf("type-2 witness rate = %s, want 1/3", rational.String(in.WitnessRates[fi]))
+		}
+	}
+}
+
+func TestFlowTypeString(t *testing.T) {
+	for _, ft := range []FlowType{Type1, Type2a, Type2b, Type3} {
+		if ft.String() == "" {
+			t.Errorf("type %d unnamed", ft)
+		}
+	}
+	if FlowType(9).String() == "" {
+		t.Error("unknown type unformatted")
+	}
+}
+
+// TestTypesAlignWithRates sanity-checks internal consistency: flows of
+// the same type within one instance have identical posited macro rates.
+func TestTypesAlignWithRates(t *testing.T) {
+	in, err := Theorem43(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ft := range []FlowType{Type1, Type2a, Type2b, Type3} {
+		idx := in.FlowsOfType(ft)
+		for _, fi := range idx[1:] {
+			if in.MacroRates[fi].Cmp(in.MacroRates[idx[0]]) != 0 {
+				t.Errorf("%v flows have differing macro rates", ft)
+			}
+		}
+	}
+}
+
+// TestVerifyClaim45Arithmetic machine-checks the Claim 4.5 counting
+// argument for a wide range of sizes — the step that extends the
+// Theorem 4.3 certification beyond exhaustively checkable instances.
+func TestVerifyClaim45Arithmetic(t *testing.T) {
+	for n := 3; n <= 64; n++ {
+		if err := VerifyClaim45Arithmetic(n); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+	if err := VerifyClaim45Arithmetic(2); err == nil {
+		t.Error("n=2 accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+
+	"closnet/internal/adversary"
+	"closnet/internal/core"
+)
+
+func TestRoundTripExample23(t *testing.T) {
+	in, err := adversary.Example23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v\n%s", err, data)
+	}
+	c, fs, demands, ma, err := back.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 2 || len(fs) != 6 {
+		t.Fatalf("rebuilt shape: n=%d flows=%d", c.Size(), len(fs))
+	}
+	if !demands.Equal(in.MacroRates) {
+		t.Errorf("demands = %v, want %v", demands, in.MacroRates)
+	}
+	// The witness assignment must reproduce the witness allocation.
+	a, err := core.ClosMaxMinFair(c, fs, ma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(in.WitnessRates) {
+		t.Errorf("rebuilt allocation = %v, want %v", a, in.WitnessRates)
+	}
+}
+
+func TestRoundTripTheorem43(t *testing.T) {
+	in, err := adversary.Theorem43(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, fs, _, ma, err := back.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.ClosMaxMinFair(c, fs, ma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(in.WitnessRates) {
+		t.Error("Theorem 4.3 witness did not survive the round trip")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"syntax", `{`},
+		{"bad shape", `{"tors":0,"servers":1,"middles":1,"flows":[]}`},
+		{"switch out of range", `{"tors":2,"servers":1,"middles":1,"flows":[{"srcSwitch":3,"srcServer":1,"dstSwitch":1,"dstServer":1}]}`},
+		{"server out of range", `{"tors":2,"servers":1,"middles":1,"flows":[{"srcSwitch":1,"srcServer":2,"dstSwitch":1,"dstServer":1}]}`},
+		{"demand count", `{"tors":2,"servers":1,"middles":1,"flows":[{"srcSwitch":1,"srcServer":1,"dstSwitch":2,"dstServer":1}],"demands":["1","1"]}`},
+		{"assignment count", `{"tors":2,"servers":1,"middles":1,"flows":[{"srcSwitch":1,"srcServer":1,"dstSwitch":2,"dstServer":1}],"assignment":[1,2]}`},
+		{"assignment range", `{"tors":2,"servers":1,"middles":1,"flows":[{"srcSwitch":1,"srcServer":1,"dstSwitch":2,"dstServer":1}],"assignment":[2]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode([]byte(tc.json)); err == nil {
+				t.Error("malformed scenario accepted")
+			}
+		})
+	}
+}
+
+func TestBuildRejectsBadDemandStrings(t *testing.T) {
+	s := &Scenario{
+		Tors: 2, Servers: 1, Middles: 1,
+		Flows:   []FlowJSON{{1, 1, 2, 1}},
+		Demands: []string{"not-a-rational"},
+	}
+	if _, _, _, _, err := s.Build(); err == nil {
+		t.Error("bad demand string accepted")
+	}
+	s.Demands = []string{"-1/2"}
+	if _, _, _, _, err := s.Build(); err == nil {
+		t.Error("negative demand accepted")
+	}
+	s.Demands = []string{"2/3"}
+	if _, _, _, _, err := s.Build(); err != nil {
+		t.Errorf("valid demand rejected: %v", err)
+	}
+}
+
+func TestEncodeIsExact(t *testing.T) {
+	in, err := adversary.Theorem34(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"1/3"`) {
+		t.Errorf("rates not serialized exactly:\n%s", data)
+	}
+}
+
+func TestScenarioWithoutOptionalFields(t *testing.T) {
+	s := &Scenario{
+		Tors: 2, Servers: 2, Middles: 3,
+		Flows: []FlowJSON{{1, 1, 2, 2}},
+	}
+	c, fs, demands, ma, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if demands != nil || ma != nil {
+		t.Error("optional fields should be nil")
+	}
+	if c.Size() != 3 || len(fs) != 1 {
+		t.Error("wrong shape")
+	}
+}

@@ -1,0 +1,28 @@
+package codec
+
+import (
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the scenario decoder: it must
+// never panic, and anything it accepts must Build and re-Encode.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"tors":2,"servers":1,"middles":1,"flows":[{"srcSwitch":1,"srcServer":1,"dstSwitch":2,"dstServer":1}]}`))
+	f.Add([]byte(`{"tors":2,"servers":1,"middles":2,"flows":[{"srcSwitch":1,"srcServer":1,"dstSwitch":2,"dstServer":1}],"demands":["1/2"],"assignment":[2]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if _, _, _, _, err := s.Build(); err != nil {
+			// Decode validates structure but demand strings are parsed
+			// at Build time; errors are acceptable, panics are not.
+			return
+		}
+		if _, err := Encode(s); err != nil {
+			t.Fatalf("accepted scenario failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+// Package core implements the paper's model (§2) and primary contribution:
+// unsplittable flows over capacitated networks, routings, feasible
+// allocations, the exact max-min fair (water-filling) allocator imposed by
+// congestion control, the bottleneck-property characterization (Lemma 2.2),
+// and the routing objectives of §2.3 (lex-max-min fairness and
+// throughput-max-min fairness).
+//
+// All rates are exact rationals; see package rational.
+package core
+
+import (
+	"fmt"
+
+	"closnet/internal/topology"
+)
+
+// Flow is an unsplittable flow mapping to a (source, destination) server
+// pair. Multiple flows may map to the same pair (the paper's multigraph of
+// flows).
+type Flow struct {
+	Src, Dst topology.NodeID
+}
+
+// Collection is an ordered collection of flows. Order matters: routings
+// and allocations are indexed by position.
+type Collection []Flow
+
+// NewCollection builds a collection from (src, dst) pairs. It panics if
+// the argument count is odd; it is intended for test and example literals.
+func NewCollection(pairs ...topology.NodeID) Collection {
+	if len(pairs)%2 != 0 {
+		panic("core.NewCollection: odd number of node IDs")
+	}
+	fs := make(Collection, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		fs = append(fs, Flow{Src: pairs[i], Dst: pairs[i+1]})
+	}
+	return fs
+}
+
+// Add returns the collection with one more flow appended, repeated count
+// times. It follows the append contract: use the return value.
+func (fs Collection) Add(src, dst topology.NodeID, count int) Collection {
+	for i := 0; i < count; i++ {
+		fs = append(fs, Flow{Src: src, Dst: dst})
+	}
+	return fs
+}
+
+// Validate checks that every flow goes from a source node to a destination
+// node of net.
+func (fs Collection) Validate(net *topology.Network) error {
+	for i, f := range fs {
+		if int(f.Src) < 0 || int(f.Src) >= net.NumNodes() {
+			return fmt.Errorf("flow %d: source %d out of range", i, f.Src)
+		}
+		if int(f.Dst) < 0 || int(f.Dst) >= net.NumNodes() {
+			return fmt.Errorf("flow %d: destination %d out of range", i, f.Dst)
+		}
+		if k := net.Node(f.Src).Kind; k != topology.KindSource {
+			return fmt.Errorf("flow %d: node %s is a %s, not a source", i, net.Node(f.Src).Name, k)
+		}
+		if k := net.Node(f.Dst).Kind; k != topology.KindDestination {
+			return fmt.Errorf("flow %d: node %s is a %s, not a destination", i, net.Node(f.Dst).Name, k)
+		}
+	}
+	return nil
+}
+
+// PerSource returns, for each source node that originates at least one
+// flow, the number of flows from it.
+func (fs Collection) PerSource() map[topology.NodeID]int {
+	m := make(map[topology.NodeID]int)
+	for _, f := range fs {
+		m[f.Src]++
+	}
+	return m
+}
+
+// PerDestination returns, for each destination node that terminates at
+// least one flow, the number of flows into it.
+func (fs Collection) PerDestination() map[topology.NodeID]int {
+	m := make(map[topology.NodeID]int)
+	for _, f := range fs {
+		m[f.Dst]++
+	}
+	return m
+}
+
+// String formats the collection using node IDs; prefer Describe for named
+// output.
+func (fs Collection) String() string {
+	return fmt.Sprintf("collection of %d flows", len(fs))
+}
+
+// Describe formats each flow as "name->name", one per line prefix "  ".
+func (fs Collection) Describe(net *topology.Network) string {
+	s := ""
+	for i, f := range fs {
+		s += fmt.Sprintf("  f%d: %s -> %s\n", i, net.Node(f.Src).Name, net.Node(f.Dst).Name)
+	}
+	return s
+}

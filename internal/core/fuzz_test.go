@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"closnet/internal/rational"
+)
+
+// FuzzWaterfill drives the allocator with arbitrary byte-encoded
+// instances and checks the full invariant set: feasibility, the
+// bottleneck property (Lemma 2.2) and exact/float agreement.
+func FuzzWaterfill(f *testing.F) {
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{1, 2, 1, 3, 4, 0, 5, 6, 1})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, fs, ma := quickInstance(data)
+		if len(fs) == 0 {
+			return
+		}
+		r, err := ClosRouting(c, fs, ma)
+		if err != nil {
+			t.Fatalf("routing: %v", err)
+		}
+		a, err := MaxMinFair(c.Network(), fs, r)
+		if err != nil {
+			t.Fatalf("waterfill: %v", err)
+		}
+		if err := IsFeasible(c.Network(), fs, r, a); err != nil {
+			t.Fatalf("infeasible output: %v", err)
+		}
+		if err := IsMaxMinFair(c.Network(), fs, r, a); err != nil {
+			t.Fatalf("bottleneck property: %v", err)
+		}
+		approx, err := MaxMinFairFloat(c.Network(), fs, r)
+		if err != nil {
+			t.Fatalf("float waterfill: %v", err)
+		}
+		for i := range a {
+			if diff := math.Abs(rational.Float(a[i]) - approx[i]); diff > 1e-9 {
+				t.Fatalf("flow %d: exact %s vs float %v", i, rational.String(a[i]), approx[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"closnet/internal/topology"
+)
+
+// Routing assigns each flow of a collection to one source-destination
+// path (the flows are unsplittable). Routing r and collection fs are
+// parallel slices: r[i] is the path of fs[i].
+type Routing []topology.Path
+
+// Validate checks that the routing has one path per flow and that each
+// path is a contiguous src→dst walk in net.
+func (r Routing) Validate(net *topology.Network, fs Collection) error {
+	if len(r) != len(fs) {
+		return fmt.Errorf("routing has %d paths for %d flows", len(r), len(fs))
+	}
+	for i, p := range r {
+		if err := p.Validate(net, fs[i].Src, fs[i].Dst); err != nil {
+			return fmt.Errorf("flow %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MiddleAssignment is the compact routing representation for a Clos
+// network: the (1-based) middle-switch index assigned to each flow. Since
+// a Clos path is fully determined by its middle switch, a middle
+// assignment and a Routing are interchangeable.
+type MiddleAssignment []int
+
+// Copy returns a copy of the assignment.
+func (ma MiddleAssignment) Copy() MiddleAssignment {
+	out := make(MiddleAssignment, len(ma))
+	copy(out, ma)
+	return out
+}
+
+// ClosRouting materializes a middle assignment into a Routing over c.
+func ClosRouting(c *topology.Clos, fs Collection, ma MiddleAssignment) (Routing, error) {
+	if len(ma) != len(fs) {
+		return nil, fmt.Errorf("assignment has %d middles for %d flows", len(ma), len(fs))
+	}
+	r := make(Routing, len(fs))
+	for i, f := range fs {
+		p, err := c.Path(f.Src, f.Dst, ma[i])
+		if err != nil {
+			return nil, fmt.Errorf("flow %d: %w", i, err)
+		}
+		r[i] = p
+	}
+	return r, nil
+}
+
+// UniformAssignment assigns every flow to middle switch m.
+func UniformAssignment(numFlows, m int) MiddleAssignment {
+	ma := make(MiddleAssignment, numFlows)
+	for i := range ma {
+		ma[i] = m
+	}
+	return ma
+}
+
+// MacroRouting returns the unique routing of fs in the macro-switch ms.
+func MacroRouting(ms *topology.MacroSwitch, fs Collection) (Routing, error) {
+	r := make(Routing, len(fs))
+	for i, f := range fs {
+		p, err := ms.Path(f.Src, f.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("flow %d: %w", i, err)
+		}
+		r[i] = p
+	}
+	return r, nil
+}
+
+// FlowsOnLinks returns, for every link of net, the indices of the flows
+// whose path traverses that link. The result is indexed by LinkID.
+func FlowsOnLinks(net *topology.Network, r Routing) [][]int {
+	on := make([][]int, net.NumLinks())
+	for fi, p := range r {
+		for _, l := range p {
+			on[l] = append(on[l], fi)
+		}
+	}
+	return on
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// MaxMinFairFloat is the float64 fast path of MaxMinFair, used by the
+// stochastic simulation (experiment S1) where thousands of allocations are
+// computed and exactness is unnecessary. It implements the same
+// progressive-filling algorithm; saturation is detected with an absolute
+// tolerance.
+//
+// Exact code paths (all theorem and figure experiments) must use
+// MaxMinFair instead.
+func MaxMinFairFloat(net *topology.Network, fs Collection, r Routing) ([]float64, error) {
+	const eps = 1e-12
+
+	nf := len(fs)
+	rates := make([]float64, nf)
+	if nf == 0 {
+		return rates, nil
+	}
+	if len(r) != len(fs) {
+		return nil, errors.New("waterfill: routing/flow length mismatch")
+	}
+
+	links := net.Links()
+	on := FlowsOnLinks(net, r)
+
+	remaining := make([]float64, len(links))
+	active := make([]int, len(links))
+	finite := make([]bool, len(links))
+	for _, l := range links {
+		if l.Unbounded {
+			continue
+		}
+		finite[l.ID] = true
+		remaining[l.ID] = rational.Float(l.Capacity)
+		active[l.ID] = len(on[l.ID])
+	}
+
+	frozen := make([]bool, nf)
+	level := 0.0
+	remainingFlows := nf
+
+	for remainingFlows > 0 {
+		delta := -1.0
+		for id := range links {
+			if !finite[id] || active[id] == 0 {
+				continue
+			}
+			d := remaining[id] / float64(active[id])
+			if delta < 0 || d < delta {
+				delta = d
+			}
+		}
+		if delta < 0 {
+			return nil, ErrUnboundedFlow
+		}
+
+		level += delta
+		for id := range links {
+			if !finite[id] || active[id] == 0 {
+				continue
+			}
+			remaining[id] -= delta * float64(active[id])
+		}
+
+		progressed := false
+		for id := range links {
+			if !finite[id] || active[id] == 0 || remaining[id] > eps {
+				continue
+			}
+			remaining[id] = 0
+			for _, fi := range on[id] {
+				if frozen[fi] {
+					continue
+				}
+				frozen[fi] = true
+				rates[fi] = level
+				remainingFlows--
+				progressed = true
+				for _, l := range r[fi] {
+					if finite[l] {
+						active[l]--
+					}
+				}
+			}
+		}
+		if !progressed {
+			return nil, errors.New("waterfill: no progress (float tolerance too tight)")
+		}
+	}
+	return rates, nil
+}

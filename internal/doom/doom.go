@@ -1,0 +1,199 @@
+// Package doom implements the Doom-Switch algorithm (Algorithm 1 of §5),
+// which routes a flow collection in a Clos network so that the max-min
+// fair allocation approximates a throughput-max-min fair allocation:
+//
+//  1. Compute a maximum matching F' of the bipartite multigraph G^MS
+//     (sources × destinations, one edge per flow).
+//  2. Compute an n-edge-coloring of the bipartite multigraph G^C
+//     restricted to F' (input × output ToR switches) — possible because
+//     every ToR has degree at most n under a matching — and assign the
+//     flows of color m to middle switch M_m, yielding a link-disjoint
+//     routing of F'.
+//  3. Assign all remaining flows to the middle switch whose color class
+//     is smallest: the eponymous doomed switch.
+//
+// The matched flows then rise toward rate 1 while the doomed flows are
+// crushed onto one middle switch, trading fairness for throughput
+// (Theorem 5.4).
+package doom
+
+import (
+	"fmt"
+
+	"closnet/internal/coloring"
+	"closnet/internal/core"
+	"closnet/internal/matching"
+	"closnet/internal/topology"
+)
+
+// Result is the routing produced by the Doom-Switch algorithm.
+type Result struct {
+	// Assignment maps each flow to its middle switch (1-based).
+	Assignment core.MiddleAssignment
+	// Matched marks the flows of the maximum matching F'.
+	Matched []bool
+	// DoomMiddle is the middle switch (1-based) that received F \ F'.
+	// It is 0 when every flow was matched.
+	DoomMiddle int
+}
+
+// MatchedCount returns |F'|, which by Lemma 3.2 equals the maximum
+// throughput across the macro-switch.
+func (r *Result) MatchedCount() int {
+	count := 0
+	for _, m := range r.Matched {
+		if m {
+			count++
+		}
+	}
+	return count
+}
+
+// VictimPolicy selects the doomed middle switch (0-based color) given
+// the sizes of the matching's color classes. The paper's Algorithm 1
+// picks a smallest class; alternatives are provided as ablations.
+type VictimPolicy func(classSizes []int) int
+
+// LeastLoaded returns the paper's policy: the smallest color class,
+// lowest index on ties.
+func LeastLoaded() VictimPolicy {
+	return func(sizes []int) int {
+		victim := 0
+		for m := 1; m < len(sizes); m++ {
+			if sizes[m] < sizes[victim] {
+				victim = m
+			}
+		}
+		return victim
+	}
+}
+
+// FixedMiddle always dooms onto color m (0-based), clamped to range.
+// It is the ablation baseline: ignoring class sizes wastes throughput
+// whenever the fixed class is not minimal.
+func FixedMiddle(m int) VictimPolicy {
+	return func(sizes []int) int {
+		if m < 0 || m >= len(sizes) {
+			return 0
+		}
+		return m
+	}
+}
+
+// MostLoaded picks the largest class — the deliberately worst choice,
+// used to bound the policy's impact in the ablation benchmarks.
+func MostLoaded() VictimPolicy {
+	return func(sizes []int) int {
+		victim := 0
+		for m := 1; m < len(sizes); m++ {
+			if sizes[m] > sizes[victim] {
+				victim = m
+			}
+		}
+		return victim
+	}
+}
+
+// Route runs the Doom-Switch algorithm on fs over c with the paper's
+// least-loaded victim policy.
+func Route(c *topology.Clos, fs core.Collection) (*Result, error) {
+	return RouteWithPolicy(c, fs, LeastLoaded())
+}
+
+// RouteWithPolicy runs the Doom-Switch algorithm with a custom victim
+// policy for step 3.
+func RouteWithPolicy(c *topology.Clos, fs core.Collection, victim VictimPolicy) (*Result, error) {
+	if err := fs.Validate(c.Network()); err != nil {
+		return nil, fmt.Errorf("doom: %w", err)
+	}
+	n := c.Size()
+	res := &Result{
+		Assignment: make(core.MiddleAssignment, len(fs)),
+		Matched:    make([]bool, len(fs)),
+	}
+	if len(fs) == 0 {
+		return res, nil
+	}
+
+	// Step 1: maximum matching of G^MS (server-level multigraph).
+	gms, err := serverGraph(c, fs)
+	if err != nil {
+		return nil, err
+	}
+	matched, err := matching.MaxMatching(gms)
+	if err != nil {
+		return nil, fmt.Errorf("doom: matching: %w", err)
+	}
+	for _, fi := range matched {
+		res.Matched[fi] = true
+	}
+
+	// Step 2: n-edge-coloring of G^C restricted to F'. Edges of G^C are
+	// the matched flows, identified by their (input, output) ToR pair;
+	// each ToR serves n servers, each used by at most one matched flow,
+	// so the degree is at most n and König guarantees an n-coloring.
+	gc := matching.Graph{NumLeft: c.NumToRs(), NumRight: c.NumToRs()}
+	for _, fi := range matched {
+		in, ok := c.InputOf(fs[fi].Src)
+		if !ok {
+			return nil, fmt.Errorf("doom: flow %d source is not a server", fi)
+		}
+		out, ok := c.OutputOf(fs[fi].Dst)
+		if !ok {
+			return nil, fmt.Errorf("doom: flow %d destination is not a server", fi)
+		}
+		gc.Edges = append(gc.Edges, matching.Edge{Left: in - 1, Right: out - 1})
+	}
+	colors, err := coloring.EdgeColor(gc, n)
+	if err != nil {
+		return nil, fmt.Errorf("doom: coloring: %w", err)
+	}
+	for ei, fi := range matched {
+		res.Assignment[fi] = colors[ei] + 1
+	}
+
+	// Step 3: doom the remaining flows onto the middle switch chosen by
+	// the victim policy (the paper: smallest color class).
+	sizes := coloring.ClassSizes(colors, n)
+	doomed := victim(sizes)
+	if doomed < 0 || doomed >= n {
+		return nil, fmt.Errorf("doom: victim policy returned color %d outside [0,%d)", doomed, n)
+	}
+	res.DoomMiddle = doomed + 1
+	allMatched := true
+	for fi := range fs {
+		if !res.Matched[fi] {
+			res.Assignment[fi] = res.DoomMiddle
+			allMatched = false
+		}
+	}
+	if allMatched {
+		res.DoomMiddle = 0
+	}
+	return res, nil
+}
+
+// serverGraph builds G^MS: the bipartite multigraph whose left and right
+// node sets are the source and destination servers of c and whose edges
+// are the flows, with edge index = flow index.
+func serverGraph(c *topology.Clos, fs core.Collection) (matching.Graph, error) {
+	numServers := c.NumToRs() * c.ServersPerToR()
+	g := matching.Graph{NumLeft: numServers, NumRight: numServers}
+	for fi, f := range fs {
+		in, ok := c.InputOf(f.Src)
+		if !ok {
+			return g, fmt.Errorf("doom: flow %d source is not a server", fi)
+		}
+		out, ok := c.OutputOf(f.Dst)
+		if !ok {
+			return g, fmt.Errorf("doom: flow %d destination is not a server", fi)
+		}
+		// Dense server index: (switch-1)*serversPerToR + offset in switch.
+		_, sj, _ := c.SourceIndexOf(f.Src)
+		_, dj, _ := c.DestIndexOf(f.Dst)
+		srcIdx := (in-1)*c.ServersPerToR() + sj - 1
+		dstIdx := (out-1)*c.ServersPerToR() + dj - 1
+		g.Edges = append(g.Edges, matching.Edge{Left: srcIdx, Right: dstIdx})
+	}
+	return g, nil
+}

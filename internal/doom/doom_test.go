@@ -1,0 +1,249 @@
+package doom
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"closnet/internal/adversary"
+	"closnet/internal/core"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+func TestRouteExample53(t *testing.T) {
+	in, err := adversary.Example53()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(in.Clos, in.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The maximum matching of G^MS consists of all n-1 type-1 flows
+	// (Example 5.3); its size determines T^MT.
+	if got, want := res.MatchedCount(), in.N-1; got != want {
+		t.Errorf("matched = %d, want %d", got, want)
+	}
+	// The resulting max-min fair allocation must reach the theorem's
+	// throughput n-2 = 5 (the witness routing achieves exactly that, and
+	// the algorithm's output is equivalent up to middle-switch
+	// relabeling).
+	a, err := core.ClosMaxMinFair(in.Clos, in.Flows, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.Throughput(a); got.Cmp(rational.Int(5)) != 0 {
+		t.Errorf("doom throughput = %s, want 5", rational.String(got))
+	}
+	// Matched (type-1) flows rise to 2/3; doomed (type-2) flows drop to
+	// 1/3 (Figure 4).
+	for fi := range in.Flows {
+		want := rational.R(1, 3)
+		if res.Matched[fi] {
+			want = rational.R(2, 3)
+		}
+		if a[fi].Cmp(want) != 0 {
+			t.Errorf("flow %d rate = %s, want %s", fi, rational.String(a[fi]), rational.String(want))
+		}
+	}
+}
+
+// TestRouteMatchedFlowsAreLinkDisjoint checks the König correspondence of
+// step 2: giving every matched flow rate 1 is feasible, i.e. the matched
+// flows are routed link-disjointly.
+func TestRouteMatchedFlowsAreLinkDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(4) + 1
+		c := topology.MustClos(n)
+		fs := core.Collection{}
+		for f := 0; f < rng.Intn(4*n)+1; f++ {
+			fs = fs.Add(
+				c.Source(rng.Intn(2*n)+1, rng.Intn(n)+1),
+				c.Dest(rng.Intn(2*n)+1, rng.Intn(n)+1), 1)
+		}
+		res, err := Route(c, fs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var matchedFlows core.Collection
+		var matchedMiddles core.MiddleAssignment
+		for fi := range fs {
+			if res.Matched[fi] {
+				matchedFlows = append(matchedFlows, fs[fi])
+				matchedMiddles = append(matchedMiddles, res.Assignment[fi])
+			}
+		}
+		r, err := core.ClosRouting(c, matchedFlows, matchedMiddles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones := make(rational.Vec, len(matchedFlows))
+		for i := range ones {
+			ones[i] = rational.One()
+		}
+		if err := core.IsFeasible(c.Network(), matchedFlows, r, ones); err != nil {
+			t.Fatalf("trial %d: matched flows not link-disjoint: %v", trial, err)
+		}
+	}
+}
+
+// TestRouteThroughputBound checks Theorem 5.4's upper bound on random
+// instances: the doom routing's max-min throughput is at most twice the
+// macro-switch max-min throughput.
+func TestRouteThroughputBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(3) + 2
+		c := topology.MustClos(n)
+		ms := topology.MustMacroSwitch(n)
+		var fs, mfs core.Collection
+		for f := 0; f < rng.Intn(3*n)+2; f++ {
+			si, sj := rng.Intn(2*n)+1, rng.Intn(n)+1
+			di, dj := rng.Intn(2*n)+1, rng.Intn(n)+1
+			fs = fs.Add(c.Source(si, sj), c.Dest(di, dj), 1)
+			mfs = mfs.Add(ms.Source(si, sj), ms.Dest(di, dj), 1)
+		}
+		res, err := Route(c, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.ClosMaxMinFair(c, fs, res.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		macro, err := core.MacroMaxMinFair(ms, mfs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := rational.Mul(rational.Int(2), core.Throughput(macro))
+		if core.Throughput(a).Cmp(bound) > 0 {
+			t.Fatalf("trial %d: doom throughput %s > 2x macro %s",
+				trial, rational.String(core.Throughput(a)), rational.String(core.Throughput(macro)))
+		}
+	}
+}
+
+func TestRouteEmptyAndErrors(t *testing.T) {
+	c := topology.MustClos(2)
+	res, err := Route(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignment) != 0 || res.DoomMiddle != 0 {
+		t.Errorf("unexpected result %+v", res)
+	}
+	bad := core.Collection{{Src: c.Input(1), Dst: c.Dest(1, 1)}}
+	if _, err := Route(c, bad); err == nil {
+		t.Error("invalid flow accepted")
+	}
+}
+
+func TestRouteAllMatched(t *testing.T) {
+	// A permutation workload: every flow is matched; DoomMiddle is 0.
+	c := topology.MustClos(2)
+	fs := core.Collection{}
+	for i := 1; i <= 4; i++ {
+		for j := 1; j <= 2; j++ {
+			fs = fs.Add(c.Source(i, j), c.Dest(i, j), 1)
+		}
+	}
+	res, err := Route(c, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MatchedCount(); got != len(fs) {
+		t.Fatalf("matched = %d, want %d", got, len(fs))
+	}
+	if res.DoomMiddle != 0 {
+		t.Errorf("DoomMiddle = %d, want 0", res.DoomMiddle)
+	}
+	// All flows at rate 1.
+	a, err := core.ClosMaxMinFair(c, fs, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, rate := range a {
+		if rate.Cmp(rational.One()) != 0 {
+			t.Errorf("flow %d rate = %s, want 1", fi, rational.String(rate))
+		}
+	}
+}
+
+func TestRouteDoomsToSmallestClass(t *testing.T) {
+	// One matched flow on some middle; unmatched flows must go to a
+	// different (empty) class when n > 1.
+	c := topology.MustClos(2)
+	fs := core.Collection{}.
+		Add(c.Source(1, 1), c.Dest(1, 1), 1).
+		Add(c.Source(1, 1), c.Dest(1, 1), 2) // two parallel copies, unmatched
+	res, err := Route(c, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchedCount() != 1 {
+		t.Fatalf("matched = %d, want 1", res.MatchedCount())
+	}
+	var matchedMiddle int
+	for fi := range fs {
+		if res.Matched[fi] {
+			matchedMiddle = res.Assignment[fi]
+		}
+	}
+	if res.DoomMiddle == matchedMiddle {
+		t.Error("doomed flows placed on the occupied middle despite an empty class")
+	}
+}
+
+// TestVictimPolicies compares the paper's least-loaded policy against
+// the ablation baselines on the Example 5.3 instance, where the color
+// classes are maximally unbalanced (six singleton classes, one empty).
+func TestVictimPolicies(t *testing.T) {
+	in, err := adversary.Example53()
+	if err != nil {
+		t.Fatal(err)
+	}
+	throughput := func(policy VictimPolicy) *big.Rat {
+		t.Helper()
+		res, err := RouteWithPolicy(in.Clos, in.Flows, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.ClosMaxMinFair(in.Clos, in.Flows, res.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Throughput(a)
+	}
+	least := throughput(LeastLoaded())
+	most := throughput(MostLoaded())
+	fixed := throughput(FixedMiddle(0))
+	if least.Cmp(rational.Int(5)) != 0 {
+		t.Errorf("least-loaded throughput = %s, want 5", rational.String(least))
+	}
+	// Dooming onto an occupied class forces the type-2 flows to share a
+	// fabric link with a matched type-1 flow, losing throughput.
+	if most.Cmp(least) >= 0 {
+		t.Errorf("most-loaded throughput %s not below least-loaded %s",
+			rational.String(most), rational.String(least))
+	}
+	if fixed.Cmp(least) >= 0 {
+		t.Errorf("fixed-middle throughput %s not below least-loaded %s",
+			rational.String(fixed), rational.String(least))
+	}
+}
+
+func TestVictimPolicyOutOfRangeClamped(t *testing.T) {
+	in, err := adversary.Example53()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RouteWithPolicy(in.Clos, in.Flows, FixedMiddle(99)); err != nil {
+		t.Errorf("clamped fixed policy failed: %v", err)
+	}
+	bad := func([]int) int { return -1 }
+	if _, err := RouteWithPolicy(in.Clos, in.Flows, bad); err == nil {
+		t.Error("out-of-range victim accepted")
+	}
+}

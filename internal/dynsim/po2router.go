@@ -1,0 +1,47 @@
+package dynsim
+
+import (
+	"fmt"
+
+	"closnet/internal/core"
+)
+
+// po2Router implements power-of-two-choices placement: sample two middle
+// switches uniformly at random and take the less loaded one (for the
+// arriving flow's two fabric links). It captures the classic
+// load-balancing result that two random choices close most of the gap
+// between random and least-loaded placement at a fraction of the state.
+type po2Router struct{}
+
+// NewPowerOfTwoRouter returns the power-of-two-choices policy.
+func NewPowerOfTwoRouter() Router { return po2Router{} }
+
+// Name implements Router.
+func (po2Router) Name() string { return "power-of-two" }
+
+// Place implements Router.
+func (po2Router) Place(s *State, f core.Flow) (int, error) {
+	c := s.Clos()
+	i, ok := c.InputOf(f.Src)
+	if !ok {
+		return 0, fmt.Errorf("dynsim: flow source is not a server")
+	}
+	o, ok := c.OutputOf(f.Dst)
+	if !ok {
+		return 0, fmt.Errorf("dynsim: flow destination is not a server")
+	}
+	n := c.Size()
+	m1 := s.RNG().Intn(n) + 1
+	m2 := s.RNG().Intn(n) + 1
+	load := func(m int) float64 {
+		in, out := s.FabricLoad(i, m, o)
+		if out > in {
+			return out
+		}
+		return in
+	}
+	if load(m2) < load(m1) {
+		return m2, nil
+	}
+	return m1, nil
+}

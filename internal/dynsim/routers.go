@@ -1,0 +1,76 @@
+package dynsim
+
+import (
+	"fmt"
+
+	"closnet/internal/core"
+)
+
+// ecmpRouter picks a middle uniformly at random.
+type ecmpRouter struct{}
+
+// NewECMPRouter returns the incremental ECMP policy.
+func NewECMPRouter() Router { return ecmpRouter{} }
+
+// Name implements Router.
+func (ecmpRouter) Name() string { return "ecmp" }
+
+// Place implements Router.
+func (ecmpRouter) Place(s *State, _ core.Flow) (int, error) {
+	return s.RNG().Intn(s.Clos().Size()) + 1, nil
+}
+
+// leastLoadedRouter picks the middle minimizing the flow's two fabric
+// link loads at arrival time (the incremental analogue of the greedy
+// algorithm of §6).
+type leastLoadedRouter struct{}
+
+// NewLeastLoadedRouter returns the incremental least-loaded-path policy.
+func NewLeastLoadedRouter() Router { return leastLoadedRouter{} }
+
+// Name implements Router.
+func (leastLoadedRouter) Name() string { return "least-loaded" }
+
+// Place implements Router.
+func (leastLoadedRouter) Place(s *State, f core.Flow) (int, error) {
+	c := s.Clos()
+	i, ok := c.InputOf(f.Src)
+	if !ok {
+		return 0, fmt.Errorf("dynsim: flow source is not a server")
+	}
+	o, ok := c.OutputOf(f.Dst)
+	if !ok {
+		return 0, fmt.Errorf("dynsim: flow destination is not a server")
+	}
+	best, bestLoad := 1, 0.0
+	for m := 1; m <= c.Size(); m++ {
+		in, out := s.FabricLoad(i, m, o)
+		load := in
+		if out > load {
+			load = out
+		}
+		if m == 1 || load < bestLoad {
+			best, bestLoad = m, load
+		}
+	}
+	return best, nil
+}
+
+// roundRobinRouter cycles through the middles regardless of load — the
+// cheapest oblivious policy and a second baseline for the ablation.
+type roundRobinRouter struct {
+	next int
+}
+
+// NewRoundRobinRouter returns the round-robin policy.
+func NewRoundRobinRouter() Router { return &roundRobinRouter{} }
+
+// Name implements Router.
+func (*roundRobinRouter) Name() string { return "round-robin" }
+
+// Place implements Router.
+func (r *roundRobinRouter) Place(s *State, _ core.Flow) (int, error) {
+	m := r.next%s.Clos().Size() + 1
+	r.next++
+	return m, nil
+}

@@ -1,0 +1,75 @@
+package dynsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SizeDist selects the flow-size distribution of a simulation run.
+type SizeDist int
+
+// Flow-size distributions.
+const (
+	// SizeExponential draws sizes from an exponential distribution with
+	// the configured mean — the memoryless baseline.
+	SizeExponential SizeDist = iota + 1
+	// SizeParetoBounded draws sizes from a bounded Pareto distribution
+	// (shape 1.2, range [mean/10, mean*100], rescaled to the configured
+	// mean) — the heavy-tailed shape reported for data-center flow sizes,
+	// where a small fraction of elephant flows carries most bytes.
+	SizeParetoBounded
+)
+
+// String names the distribution.
+func (d SizeDist) String() string {
+	switch d {
+	case SizeExponential:
+		return "exponential"
+	case SizeParetoBounded:
+		return "bounded-pareto"
+	default:
+		return fmt.Sprintf("SizeDist(%d)", int(d))
+	}
+}
+
+// sampler returns a draw function with the requested mean.
+func (d SizeDist) sampler(mean float64, rng *rand.Rand) (func() float64, error) {
+	switch d {
+	case 0, SizeExponential: // zero value keeps older configs working
+		return func() float64 {
+			s := rng.ExpFloat64() * mean
+			if s < 1e-9 {
+				s = 1e-9
+			}
+			return s
+		}, nil
+	case SizeParetoBounded:
+		const alpha = 1.2
+		lo, hi := mean/10, mean*100
+		// Raw bounded-Pareto mean, used to rescale draws to the target.
+		rawMean := boundedParetoMean(alpha, lo, hi)
+		scale := mean / rawMean
+		return func() float64 {
+			// Inverse-CDF sampling of the bounded Pareto.
+			u := rng.Float64()
+			la, ha := math.Pow(lo, alpha), math.Pow(hi, alpha)
+			x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+			s := x * scale
+			if s < 1e-9 {
+				s = 1e-9
+			}
+			return s
+		}, nil
+	default:
+		return nil, fmt.Errorf("dynsim: unknown size distribution %d", d)
+	}
+}
+
+// boundedParetoMean returns the mean of the bounded Pareto(alpha, lo, hi)
+// for alpha != 1.
+func boundedParetoMean(alpha, lo, hi float64) float64 {
+	la := math.Pow(lo, alpha)
+	num := la / (1 - math.Pow(lo/hi, alpha)) * alpha / (alpha - 1)
+	return num * (1/math.Pow(lo, alpha-1) - 1/math.Pow(hi, alpha-1))
+}

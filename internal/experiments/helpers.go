@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"closnet/internal/core"
+	"closnet/internal/matching"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// serverMultigraph builds G^MS for a flow collection: the bipartite
+// multigraph whose left/right nodes are the distinct sources and
+// destinations and whose edges are the flows (edge index = flow index).
+// Dense indices are assigned on first sight; only identity matters for
+// matching.
+func serverMultigraph(fs core.Collection) matching.Graph {
+	srcIdx := make(map[topology.NodeID]int)
+	dstIdx := make(map[topology.NodeID]int)
+	g := matching.Graph{}
+	for _, f := range fs {
+		if _, ok := srcIdx[f.Src]; !ok {
+			srcIdx[f.Src] = len(srcIdx)
+		}
+		if _, ok := dstIdx[f.Dst]; !ok {
+			dstIdx[f.Dst] = len(dstIdx)
+		}
+		g.Edges = append(g.Edges, matching.Edge{Left: srcIdx[f.Src], Right: dstIdx[f.Dst]})
+	}
+	g.NumLeft, g.NumRight = len(srcIdx), len(dstIdx)
+	return g
+}
+
+// maxThroughputMacro returns T^MT for a macro-switch flow collection via
+// Lemma 3.2 (maximum matching of G^MS), together with the maximum
+// matching itself.
+func maxThroughputMacro(fs core.Collection) (*big.Rat, matching.Matching, error) {
+	m, err := matching.MaxMatching(serverMultigraph(fs))
+	if err != nil {
+		return nil, nil, err
+	}
+	return rational.Int(int64(len(m))), m, nil
+}
+
+// ratio formats a/b in lowest terms together with a decimal rendering,
+// e.g. "3/4 (0.7500)".
+func ratio(a, b *big.Rat) string {
+	r := rational.Div(a, b)
+	return fmt.Sprintf("%s (%.4f)", rational.String(r), rational.Float(r))
+}
+
+// yesNo renders a boolean check.
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,115 @@
+// Package experiments regenerates every figure and bound of the paper's
+// evaluation as a table of paper-vs-measured values, plus the
+// simulation-based evaluation referenced in §6 and the splittable-flow
+// control experiment. See DESIGN.md's per-experiment index for the
+// mapping from experiment IDs (F1, F2, T1, F3, T2, F4, T3, S1, P1) to
+// paper artifacts.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Table is an experiment result: a titled grid of formatted values with
+// free-form notes (assumption checks, certification status).
+type Table struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		row[i] = fmt.Sprint(v)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a formatted note line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}
+
+// JSON renders the table as indented JSON for downstream tooling.
+func (t *Table) JSON() (string, error) {
+	out, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: marshal table %s: %w", t.ID, err)
+	}
+	return string(out), nil
+}
+
+// CSV renders the table as comma-separated values (RFC-4180-style
+// quoting for cells containing commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

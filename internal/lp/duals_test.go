@@ -1,0 +1,195 @@
+package lp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"closnet/internal/rational"
+)
+
+// checkStrongDuality verifies Σ y_i·b_i == optimum, the sign conditions
+// on the multipliers, and dual feasibility Σ_i y_i·A_ij ≥ c_j for every
+// variable — which together certify optimality independently of the
+// simplex run.
+func checkStrongDuality(t *testing.T, p Problem, sol *Solution) {
+	t.Helper()
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if len(sol.Duals) != len(p.Constraints) {
+		t.Fatalf("%d duals for %d constraints", len(sol.Duals), len(p.Constraints))
+	}
+	yb := new(big.Rat)
+	for i, c := range p.Constraints {
+		yb.Add(yb, rational.Mul(sol.Duals[i], c.RHS))
+		switch c.Rel {
+		case LE:
+			if sol.Duals[i].Sign() < 0 {
+				t.Errorf("constraint %d (LE): negative dual %s", i, rational.String(sol.Duals[i]))
+			}
+		case GE:
+			if sol.Duals[i].Sign() > 0 {
+				t.Errorf("constraint %d (GE): positive dual %s", i, rational.String(sol.Duals[i]))
+			}
+		}
+	}
+	if yb.Cmp(sol.Objective) != 0 {
+		t.Errorf("strong duality violated: y·b = %s, optimum = %s",
+			rational.String(yb), rational.String(sol.Objective))
+	}
+	for j := 0; j < p.NumVars; j++ {
+		lhs := new(big.Rat)
+		for i, c := range p.Constraints {
+			lhs.Add(lhs, rational.Mul(sol.Duals[i], coeff(c.Coeffs, j)))
+		}
+		if lhs.Cmp(coeff(p.Objective, j)) < 0 {
+			t.Errorf("dual infeasible at variable %d: %s < %s",
+				j, rational.String(lhs), rational.String(coeff(p.Objective, j)))
+		}
+	}
+}
+
+func TestDualsBasicLE(t *testing.T) {
+	p := Problem{
+		NumVars:   2,
+		Objective: []*big.Rat{rat(1, 1), rat(1, 1)},
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(1, 1), rat(2, 1)}, Rel: LE, RHS: rat(4, 1)},
+			{Coeffs: []*big.Rat{rat(3, 1), rat(1, 1)}, Rel: LE, RHS: rat(6, 1)},
+		},
+	}
+	sol := solveOK(t, p)
+	checkStrongDuality(t, p, sol)
+	// Known duals: y = (2/5, 1/5).
+	if sol.Duals[0].Cmp(rat(2, 5)) != 0 || sol.Duals[1].Cmp(rat(1, 5)) != 0 {
+		t.Errorf("duals = %s, %s; want 2/5, 1/5",
+			rational.String(sol.Duals[0]), rational.String(sol.Duals[1]))
+	}
+}
+
+func TestDualsMixedRelations(t *testing.T) {
+	p := Problem{
+		NumVars:   2,
+		Objective: []*big.Rat{rat(1, 1), rat(1, 1)},
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(1, 1), rat(1, 1)}, Rel: LE, RHS: rat(10, 1)},
+			{Coeffs: []*big.Rat{rat(1, 1)}, Rel: GE, RHS: rat(3, 1)},
+			{Coeffs: []*big.Rat{rat(0, 1), rat(1, 1)}, Rel: EQ, RHS: rat(2, 1)},
+		},
+	}
+	sol := solveOK(t, p)
+	checkStrongDuality(t, p, sol)
+}
+
+func TestDualsNegativeRHSFlip(t *testing.T) {
+	// -x ≤ -2 is x ≥ 2 internally; the reported dual must be oriented
+	// for the original LE row (non-negative).
+	p := Problem{
+		NumVars:   1,
+		Objective: []*big.Rat{rat(-1, 1)},
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(-1, 1)}, Rel: LE, RHS: rat(-2, 1)},
+		},
+	}
+	sol := solveOK(t, p)
+	checkStrongDuality(t, p, sol)
+}
+
+func TestDualsBealeDegenerate(t *testing.T) {
+	p := Problem{
+		NumVars: 4,
+		Objective: []*big.Rat{
+			rat(3, 4), rat(-150, 1), rat(1, 50), rat(-6, 1),
+		},
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(1, 4), rat(-60, 1), rat(-1, 25), rat(9, 1)}, Rel: LE, RHS: rat(0, 1)},
+			{Coeffs: []*big.Rat{rat(1, 2), rat(-90, 1), rat(-1, 50), rat(3, 1)}, Rel: LE, RHS: rat(0, 1)},
+			{Coeffs: []*big.Rat{rat(0, 1), rat(0, 1), rat(1, 1), rat(0, 1)}, Rel: LE, RHS: rat(1, 1)},
+		},
+	}
+	sol := solveOK(t, p)
+	checkStrongDuality(t, p, sol)
+}
+
+// TestDualsRandomLEInstances fuzz-checks strong duality on random
+// bounded LE-form problems (bounded by a box row so optima exist).
+func TestDualsRandomLEInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(4) + 1
+		m := rng.Intn(4) + 1
+		p := Problem{NumVars: n}
+		for j := 0; j < n; j++ {
+			p.Objective = append(p.Objective, rat(int64(rng.Intn(7)-3), 1))
+		}
+		for i := 0; i < m; i++ {
+			var cs []*big.Rat
+			for j := 0; j < n; j++ {
+				cs = append(cs, rat(int64(rng.Intn(5)), 1))
+			}
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: cs, Rel: LE, RHS: rat(int64(rng.Intn(9)+1), 1),
+			})
+		}
+		// Bounding box keeps the problem bounded.
+		for j := 0; j < n; j++ {
+			cs := make([]*big.Rat, n)
+			cs[j] = rat(1, 1)
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: cs, Rel: LE, RHS: rat(10, 1)})
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		checkStrongDuality(t, p, sol)
+	}
+}
+
+// TestDualsComplementarySlackness: on the basic LE instance, slack
+// constraints get zero duals and positive-dual constraints are tight.
+func TestDualsComplementarySlackness(t *testing.T) {
+	p := Problem{
+		NumVars:   2,
+		Objective: []*big.Rat{rat(1, 1), rat(0, 1)}, // only x matters
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(1, 1), rat(0, 1)}, Rel: LE, RHS: rat(2, 1)}, // tight
+			{Coeffs: []*big.Rat{rat(0, 1), rat(1, 1)}, Rel: LE, RHS: rat(5, 1)}, // slack
+		},
+	}
+	sol := solveOK(t, p)
+	checkStrongDuality(t, p, sol)
+	if sol.Duals[0].Cmp(rat(1, 1)) != 0 {
+		t.Errorf("tight constraint dual = %s, want 1", rational.String(sol.Duals[0]))
+	}
+	if sol.Duals[1].Sign() != 0 {
+		t.Errorf("slack constraint dual = %s, want 0", rational.String(sol.Duals[1]))
+	}
+}
+
+// TestDualsSplittableThroughputModel: the LP models produce valid dual
+// certificates too — spot-checked on the Example 3.3 throughput LP,
+// whose dual is a fractional vertex cover of weight 2.
+func TestDualsSplittableThroughputModel(t *testing.T) {
+	// Reconstruct the throughput LP directly: 3 flows, capacities from
+	// MS_1 server links.
+	// Variables: x0 (s1->t1), x1 (s2->t2), x2 (s2->t1).
+	p := Problem{
+		NumVars:   3,
+		Objective: []*big.Rat{rat(1, 1), rat(1, 1), rat(1, 1)},
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(1, 1), nil, nil}, Rel: LE, RHS: rat(1, 1)},       // s1
+			{Coeffs: []*big.Rat{nil, rat(1, 1), rat(1, 1)}, Rel: LE, RHS: rat(1, 1)}, // s2
+			{Coeffs: []*big.Rat{rat(1, 1), nil, rat(1, 1)}, Rel: LE, RHS: rat(1, 1)}, // t1
+			{Coeffs: []*big.Rat{nil, rat(1, 1), nil}, Rel: LE, RHS: rat(1, 1)},       // t2
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Objective.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("optimum = %s, want 2", rational.String(sol.Objective))
+	}
+	checkStrongDuality(t, p, sol)
+}

@@ -1,0 +1,79 @@
+package lp
+
+import (
+	"math/big"
+	"testing"
+
+	"closnet/internal/rational"
+)
+
+// FuzzSimplex decodes arbitrary bytes as small LE-form problems with a
+// bounding box and checks that the solver terminates with an optimal,
+// primal-feasible solution whose dual certificate satisfies strong
+// duality.
+func FuzzSimplex(f *testing.F) {
+	f.Add([]byte{1, 1, 1, 1})
+	f.Add([]byte{3, 0, 2, 5, 1, 4, 0, 0, 9})
+	f.Add([]byte{255, 254, 253, 252, 251, 250})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := int(data[0]%3) + 1
+		m := int(data[1]%3) + 1
+		at := 2
+		next := func() int64 {
+			if at >= len(data) {
+				return 1
+			}
+			v := int64(data[at] % 11)
+			at++
+			return v
+		}
+		p := Problem{NumVars: n}
+		for j := 0; j < n; j++ {
+			p.Objective = append(p.Objective, rational.Int(next()-3))
+		}
+		for i := 0; i < m; i++ {
+			cs := make([]*big.Rat, n)
+			for j := 0; j < n; j++ {
+				cs[j] = rational.Int(next())
+			}
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: cs, Rel: LE, RHS: rational.Int(next() + 1),
+			})
+		}
+		for j := 0; j < n; j++ {
+			cs := make([]*big.Rat, n)
+			cs[j] = rational.One()
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: cs, Rel: LE, RHS: rational.Int(20)})
+		}
+
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("status %v on a bounded feasible problem", sol.Status)
+		}
+		// Primal feasibility.
+		for i, c := range p.Constraints {
+			lhs := new(big.Rat)
+			for j := 0; j < n; j++ {
+				lhs.Add(lhs, rational.Mul(coeff(c.Coeffs, j), sol.X[j]))
+			}
+			if lhs.Cmp(c.RHS) > 0 {
+				t.Fatalf("constraint %d violated: %s > %s", i, rational.String(lhs), rational.String(c.RHS))
+			}
+		}
+		// Strong duality.
+		yb := new(big.Rat)
+		for i, c := range p.Constraints {
+			yb.Add(yb, rational.Mul(sol.Duals[i], c.RHS))
+		}
+		if yb.Cmp(sol.Objective) != 0 {
+			t.Fatalf("strong duality violated: %s != %s", rational.String(yb), rational.String(sol.Objective))
+		}
+	})
+}

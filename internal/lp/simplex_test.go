@@ -1,0 +1,201 @@
+package lp
+
+import (
+	"math/big"
+	"testing"
+
+	"closnet/internal/rational"
+)
+
+func rat(p, q int64) *big.Rat { return rational.R(p, q) }
+
+func solveOK(t *testing.T, p Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func TestSolveBasicLE(t *testing.T) {
+	// max x+y s.t. x+2y ≤ 4, 3x+y ≤ 6 → x=8/5, y=6/5, obj=14/5.
+	p := Problem{
+		NumVars:   2,
+		Objective: []*big.Rat{rat(1, 1), rat(1, 1)},
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(1, 1), rat(2, 1)}, Rel: LE, RHS: rat(4, 1)},
+			{Coeffs: []*big.Rat{rat(3, 1), rat(1, 1)}, Rel: LE, RHS: rat(6, 1)},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Objective.Cmp(rat(14, 5)) != 0 {
+		t.Errorf("objective = %s, want 14/5", rational.String(sol.Objective))
+	}
+	if sol.X[0].Cmp(rat(8, 5)) != 0 || sol.X[1].Cmp(rat(6, 5)) != 0 {
+		t.Errorf("x = %s, %s", rational.String(sol.X[0]), rational.String(sol.X[1]))
+	}
+}
+
+func TestSolveWithGEAndEQ(t *testing.T) {
+	// max x+y s.t. x+y ≤ 10, x ≥ 3, y = 2 → x=8, y=2, obj=10.
+	p := Problem{
+		NumVars:   2,
+		Objective: []*big.Rat{rat(1, 1), rat(1, 1)},
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(1, 1), rat(1, 1)}, Rel: LE, RHS: rat(10, 1)},
+			{Coeffs: []*big.Rat{rat(1, 1)}, Rel: GE, RHS: rat(3, 1)},
+			{Coeffs: []*big.Rat{rat(0, 1), rat(1, 1)}, Rel: EQ, RHS: rat(2, 1)},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Objective.Cmp(rat(10, 1)) != 0 {
+		t.Errorf("objective = %s, want 10", rational.String(sol.Objective))
+	}
+	if sol.X[1].Cmp(rat(2, 1)) != 0 {
+		t.Errorf("y = %s, want 2", rational.String(sol.X[1]))
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// max -x s.t. -x ≤ -2 (i.e. x ≥ 2) → x=2, obj=-2.
+	p := Problem{
+		NumVars:   1,
+		Objective: []*big.Rat{rat(-1, 1)},
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(-1, 1)}, Rel: LE, RHS: rat(-2, 1)},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Objective.Cmp(rat(-2, 1)) != 0 {
+		t.Errorf("objective = %s, want -2", rational.String(sol.Objective))
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 2.
+	p := Problem{
+		NumVars:   1,
+		Objective: []*big.Rat{rat(1, 1)},
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(1, 1)}, Rel: LE, RHS: rat(1, 1)},
+			{Coeffs: []*big.Rat{rat(1, 1)}, Rel: GE, RHS: rat(2, 1)},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// max x with no constraints.
+	p := Problem{NumVars: 1, Objective: []*big.Rat{rat(1, 1)}}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+	// Unbounded only in an irrelevant direction: max -x, x free upward.
+	p2 := Problem{NumVars: 1, Objective: []*big.Rat{rat(-1, 1)}}
+	sol2, err := Solve(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Status != Optimal || sol2.Objective.Sign() != 0 {
+		t.Errorf("status = %v obj = %v, want optimal 0", sol2.Status, sol2.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex; Bland's rule must not cycle.
+	// max 3/4 x1 - 150 x2 + 1/50 x3 - 6 x4 (Beale's cycling example).
+	p := Problem{
+		NumVars: 4,
+		Objective: []*big.Rat{
+			rat(3, 4), rat(-150, 1), rat(1, 50), rat(-6, 1),
+		},
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(1, 4), rat(-60, 1), rat(-1, 25), rat(9, 1)}, Rel: LE, RHS: rat(0, 1)},
+			{Coeffs: []*big.Rat{rat(1, 2), rat(-90, 1), rat(-1, 50), rat(3, 1)}, Rel: LE, RHS: rat(0, 1)},
+			{Coeffs: []*big.Rat{rat(0, 1), rat(0, 1), rat(1, 1), rat(0, 1)}, Rel: LE, RHS: rat(1, 1)},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Objective.Cmp(rat(1, 20)) != 0 {
+		t.Errorf("objective = %s, want 1/20", rational.String(sol.Objective))
+	}
+}
+
+func TestSolveRedundantEquality(t *testing.T) {
+	// Two identical equalities: one artificial stays basic at 0 and its
+	// row must be dropped or pivoted out.
+	p := Problem{
+		NumVars:   2,
+		Objective: []*big.Rat{rat(1, 1), rat(0, 1)},
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{rat(1, 1), rat(1, 1)}, Rel: EQ, RHS: rat(3, 1)},
+			{Coeffs: []*big.Rat{rat(1, 1), rat(1, 1)}, Rel: EQ, RHS: rat(3, 1)},
+			{Coeffs: []*big.Rat{rat(1, 1)}, Rel: LE, RHS: rat(2, 1)},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Objective.Cmp(rat(2, 1)) != 0 {
+		t.Errorf("objective = %s, want 2", rational.String(sol.Objective))
+	}
+}
+
+func TestSolveZeroVariables(t *testing.T) {
+	sol := solveOK(t, Problem{NumVars: 0})
+	if sol.Objective.Sign() != 0 || len(sol.X) != 0 {
+		t.Errorf("unexpected solution %+v", sol)
+	}
+}
+
+func TestSolveBadProblem(t *testing.T) {
+	if _, err := Solve(Problem{NumVars: 1, Objective: []*big.Rat{rat(1, 1), rat(1, 1)}}); err == nil {
+		t.Error("oversized objective accepted")
+	}
+	if _, err := Solve(Problem{NumVars: 1, Constraints: []Constraint{{Rel: Rel(9), RHS: rat(1, 1)}}}); err == nil {
+		t.Error("bad relation accepted")
+	}
+	if _, err := Solve(Problem{NumVars: 1, Constraints: []Constraint{{Rel: LE}}}); err == nil {
+		t.Error("nil RHS accepted")
+	}
+	if _, err := Solve(Problem{NumVars: 1, Constraints: []Constraint{{Coeffs: []*big.Rat{rat(1, 1), rat(1, 1)}, Rel: LE, RHS: rat(1, 1)}}}); err == nil {
+		t.Error("oversized constraint accepted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status names wrong")
+	}
+	if Status(99).String() == "" {
+		t.Error("unknown status unformatted")
+	}
+}
+
+// TestSolveSparseCoefficients checks that nil and missing trailing
+// coefficients are treated as zero.
+func TestSolveSparseCoefficients(t *testing.T) {
+	p := Problem{
+		NumVars:   3,
+		Objective: []*big.Rat{nil, rat(1, 1)}, // maximize y
+		Constraints: []Constraint{
+			{Coeffs: []*big.Rat{nil, rat(1, 1)}, Rel: LE, RHS: rat(5, 1)},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Objective.Cmp(rat(5, 1)) != 0 {
+		t.Errorf("objective = %s, want 5", rational.String(sol.Objective))
+	}
+}

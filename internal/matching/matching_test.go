@@ -1,0 +1,201 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForceMax returns the size of a maximum matching by exhaustive
+// search over edge subsets. Only usable for tiny graphs.
+func bruteForceMax(g Graph) int {
+	best := 0
+	var rec func(i int, usedL, usedR uint64, size int)
+	rec = func(i int, usedL, usedR uint64, size int) {
+		if size > best {
+			best = size
+		}
+		if i == len(g.Edges) {
+			return
+		}
+		// Prune: even taking every remaining edge cannot beat best.
+		if size+len(g.Edges)-i <= best {
+			return
+		}
+		rec(i+1, usedL, usedR, size)
+		e := g.Edges[i]
+		lBit, rBit := uint64(1)<<e.Left, uint64(1)<<e.Right
+		if usedL&lBit == 0 && usedR&rBit == 0 {
+			rec(i+1, usedL|lBit, usedR|rBit, size+1)
+		}
+	}
+	rec(0, 0, 0, 0)
+	return best
+}
+
+func TestMaxMatchingSimpleCases(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Graph
+		want int
+	}{
+		{"empty", Graph{NumLeft: 3, NumRight: 3}, 0},
+		{"single edge", Graph{1, 1, []Edge{{0, 0}}}, 1},
+		{"parallel edges", Graph{1, 1, []Edge{{0, 0}, {0, 0}, {0, 0}}}, 1},
+		{"perfect matching", Graph{2, 2, []Edge{{0, 0}, {1, 1}}}, 2},
+		{"star", Graph{1, 4, []Edge{{0, 0}, {0, 1}, {0, 2}, {0, 3}}}, 1},
+		{
+			// Greedy on edge order {0,0},{1,0} picks {0,0} and stalls;
+			// maximum is 2 via {0,1},{1,0}.
+			"needs augmenting path",
+			Graph{2, 2, []Edge{{0, 0}, {1, 0}, {0, 1}}},
+			2,
+		},
+		{
+			// Example 3.3's G^MS for k=1: sources {s11, s21},
+			// destinations {t11, t21}; edges (s11,t11), (s21,t21),
+			// (s21,t11).
+			"example 3.3",
+			Graph{2, 2, []Edge{{0, 0}, {1, 1}, {1, 0}}},
+			2,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := MaxMatching(tt.g)
+			if err != nil {
+				t.Fatalf("MaxMatching: %v", err)
+			}
+			if err := Verify(tt.g, m); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if len(m) != tt.want {
+				t.Errorf("matching size = %d, want %d", len(m), tt.want)
+			}
+		})
+	}
+}
+
+func TestMaxMatchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nl, nr := rng.Intn(5)+1, rng.Intn(5)+1
+		ne := rng.Intn(10)
+		g := Graph{NumLeft: nl, NumRight: nr}
+		for e := 0; e < ne; e++ {
+			g.Edges = append(g.Edges, Edge{rng.Intn(nl), rng.Intn(nr)})
+		}
+		m, err := MaxMatching(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, m); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want := bruteForceMax(g); len(m) != want {
+			t.Fatalf("trial %d: size %d, want %d (graph %+v)", trial, len(m), want, g)
+		}
+	}
+}
+
+func TestGreedyMatchingIsValidAndMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		nl, nr := rng.Intn(6)+1, rng.Intn(6)+1
+		g := Graph{NumLeft: nl, NumRight: nr}
+		for e := 0; e < rng.Intn(12); e++ {
+			g.Edges = append(g.Edges, Edge{rng.Intn(nl), rng.Intn(nr)})
+		}
+		m, err := GreedyMatching(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, m); err != nil {
+			t.Fatal(err)
+		}
+		// Maximal: no remaining edge has both endpoints free.
+		usedL := make([]bool, nl)
+		usedR := make([]bool, nr)
+		for _, ei := range m {
+			usedL[g.Edges[ei].Left] = true
+			usedR[g.Edges[ei].Right] = true
+		}
+		for _, e := range g.Edges {
+			if !usedL[e.Left] && !usedR[e.Right] {
+				t.Fatalf("trial %d: greedy matching not maximal", trial)
+			}
+		}
+		// A maximal matching is at least half a maximum one.
+		max, _ := MaxMatching(g)
+		if 2*len(m) < len(max) {
+			t.Fatalf("trial %d: greedy %d < half of max %d", trial, len(m), len(max))
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Graph{
+		{NumLeft: -1, NumRight: 1},
+		{1, 1, []Edge{{1, 0}}},
+		{1, 1, []Edge{{0, 1}}},
+		{1, 1, []Edge{{-1, 0}}},
+	}
+	for i, g := range bad {
+		if _, err := MaxMatching(g); err == nil {
+			t.Errorf("graph %d: expected error", i)
+		}
+		if _, err := GreedyMatching(g); err == nil {
+			t.Errorf("graph %d: greedy expected error", i)
+		}
+	}
+}
+
+func TestVerifyRejectsBadMatchings(t *testing.T) {
+	g := Graph{2, 2, []Edge{{0, 0}, {0, 1}, {1, 1}}}
+	if err := Verify(g, Matching{0, 1}); err == nil {
+		t.Error("shared left endpoint accepted")
+	}
+	if err := Verify(g, Matching{1, 2}); err == nil {
+		t.Error("shared right endpoint accepted")
+	}
+	if err := Verify(g, Matching{5}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := Verify(g, Matching{0, 2}); err != nil {
+		t.Errorf("valid matching rejected: %v", err)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	g := Graph{2, 3, []Edge{{0, 0}, {0, 1}, {0, 2}, {1, 2}}}
+	if got := g.MaxDegree(); got != 3 {
+		t.Errorf("MaxDegree = %d, want 3", got)
+	}
+	if got := (Graph{NumLeft: 2, NumRight: 2}).MaxDegree(); got != 0 {
+		t.Errorf("MaxDegree of empty graph = %d", got)
+	}
+	// Parallel edges count toward degree.
+	p := Graph{1, 1, []Edge{{0, 0}, {0, 0}}}
+	if got := p.MaxDegree(); got != 2 {
+		t.Errorf("MaxDegree with parallel edges = %d, want 2", got)
+	}
+}
+
+func TestMaxMatchingLargeBipartite(t *testing.T) {
+	// Complete bipartite K_{40,40}: perfect matching of size 40.
+	g := Graph{NumLeft: 40, NumRight: 40}
+	for l := 0; l < 40; l++ {
+		for r := 0; r < 40; r++ {
+			g.Edges = append(g.Edges, Edge{l, r})
+		}
+	}
+	m, err := MaxMatching(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 40 {
+		t.Errorf("matching size = %d, want 40", len(m))
+	}
+	if err := Verify(g, m); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,330 @@
+package rational
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestRConstructors(t *testing.T) {
+	tests := []struct {
+		name string
+		got  *big.Rat
+		want *big.Rat
+	}{
+		{"R reduces", R(2, 6), big.NewRat(1, 3)},
+		{"Int", Int(7), big.NewRat(7, 1)},
+		{"Zero", Zero(), big.NewRat(0, 1)},
+		{"One", One(), big.NewRat(1, 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.got.Cmp(tt.want) != 0 {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestArithmeticDoesNotMutate(t *testing.T) {
+	a, b := R(1, 3), R(1, 6)
+	sum := Add(a, b)
+	if got, want := sum, R(1, 2); got.Cmp(want) != 0 {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	if a.Cmp(R(1, 3)) != 0 || b.Cmp(R(1, 6)) != 0 {
+		t.Errorf("operands mutated: a=%v b=%v", a, b)
+	}
+	if got, want := Sub(a, b), R(1, 6); got.Cmp(want) != 0 {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+	if got, want := Mul(a, b), R(1, 18); got.Cmp(want) != 0 {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+	if got, want := Div(a, b), Int(2); got.Cmp(want) != 0 {
+		t.Errorf("Div = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := R(1, 3), R(1, 2)
+	if got := Min(a, b); got.Cmp(a) != 0 {
+		t.Errorf("Min = %v, want %v", got, a)
+	}
+	if got := Max(a, b); got.Cmp(b) != 0 {
+		t.Errorf("Max = %v, want %v", got, b)
+	}
+	// Min/Max must return copies, not aliases.
+	m := Min(a, b)
+	m.Add(m, One())
+	if a.Cmp(R(1, 3)) != 0 {
+		t.Error("Min returned an alias of its argument")
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		in   *big.Rat
+		want string
+	}{
+		{Int(1), "1"},
+		{R(2, 3), "2/3"},
+		{R(4, 2), "2"},
+		{Zero(), "0"},
+		{R(-1, 3), "-1/3"},
+	}
+	for _, tt := range tests {
+		if got := String(tt.in); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	v := Vec{R(1, 3), Int(1), R(2, 3)}
+	if got, want := Join(v), "[1/3, 1, 2/3]"; got != want {
+		t.Errorf("Join = %q, want %q", got, want)
+	}
+	if got, want := Join(nil), "[]"; got != want {
+		t.Errorf("Join(nil) = %q, want %q", got, want)
+	}
+}
+
+func TestIsZeroAndFloat(t *testing.T) {
+	if !IsZero(Zero()) {
+		t.Error("IsZero(0) = false")
+	}
+	if IsZero(R(1, 10)) {
+		t.Error("IsZero(1/10) = true")
+	}
+	if got := Float(R(1, 2)); got != 0.5 {
+		t.Errorf("Float(1/2) = %v", got)
+	}
+}
+
+func TestVecOf(t *testing.T) {
+	v := VecOf(1, 3, 2, 3, 1, 1)
+	want := Vec{R(1, 3), R(2, 3), Int(1)}
+	if !v.Equal(want) {
+		t.Errorf("VecOf = %v, want %v", v, want)
+	}
+}
+
+func TestVecOfPanicsOnOddArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	VecOf(1, 2, 3)
+}
+
+func TestVecSumMin(t *testing.T) {
+	v := VecOf(1, 3, 1, 3, 2, 3, 2, 3, 1, 1)
+	if got, want := v.Sum(), Int(3); got.Cmp(want) != 0 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	if got, want := v.MinElem(), R(1, 3); got.Cmp(want) != 0 {
+		t.Errorf("MinElem = %v, want %v", got, want)
+	}
+}
+
+func TestVecSortedCopy(t *testing.T) {
+	v := VecOf(1, 1, 1, 3, 2, 3)
+	sorted := v.SortedCopy()
+	want := VecOf(1, 3, 2, 3, 1, 1)
+	if !sorted.Equal(want) {
+		t.Errorf("SortedCopy = %v, want %v", sorted, want)
+	}
+	// Original must be untouched.
+	if !v.Equal(VecOf(1, 1, 1, 3, 2, 3)) {
+		t.Errorf("SortedCopy mutated its receiver: %v", v)
+	}
+}
+
+func TestVecCopyIsDeep(t *testing.T) {
+	v := VecOf(1, 2)
+	w := v.Copy()
+	w[0].Add(w[0], One())
+	if v[0].Cmp(R(1, 2)) != 0 {
+		t.Error("Copy is shallow")
+	}
+}
+
+func TestLexCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vec
+		want int
+	}{
+		{"equal", VecOf(1, 3, 2, 3), VecOf(1, 3, 2, 3), 0},
+		{"first element wins", VecOf(1, 2, 0, 1), VecOf(1, 3, 9, 1), 1},
+		{"tie broken later", VecOf(1, 3, 1, 3), VecOf(1, 3, 1, 2), -1},
+		{"prefix shorter is smaller", VecOf(1, 3), VecOf(1, 3, 1, 3), -1},
+		{"prefix longer is larger", VecOf(1, 3, 1, 3), VecOf(1, 3), 1},
+		{"empty vs empty", Vec{}, Vec{}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := LexCompare(tt.a, tt.b); got != tt.want {
+				t.Errorf("LexCompare(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestLexCompareSortedPaperVectors checks the ordering asserted at the end
+// of Example 2.3: macro ≻ routing A ≻ routing B, where the comparison is on
+// sorted vectors.
+func TestLexCompareSortedPaperVectors(t *testing.T) {
+	macro := VecOf(1, 3, 1, 3, 1, 3, 2, 3, 2, 3, 1, 1)
+	routingA := VecOf(1, 3, 1, 3, 1, 3, 2, 3, 2, 3, 2, 3)
+	routingB := VecOf(1, 3, 1, 3, 1, 3, 1, 3, 2, 3, 1, 1)
+	if LexCompareSorted(macro, routingA) <= 0 {
+		t.Error("macro should dominate routing A")
+	}
+	if LexCompareSorted(routingA, routingB) <= 0 {
+		t.Error("routing A should dominate routing B")
+	}
+	if LexCompareSorted(macro, routingB) <= 0 {
+		t.Error("macro should dominate routing B")
+	}
+}
+
+// vecFromInts builds a small random vector from quick-generated uint8
+// numerators over a fixed denominator, keeping values small and exact.
+func vecFromInts(ns []uint8) Vec {
+	v := make(Vec, len(ns))
+	for i, n := range ns {
+		v[i] = R(int64(n), 12)
+	}
+	return v
+}
+
+func TestLexCompareIsAntisymmetricAndReflexive(t *testing.T) {
+	f := func(as, bs []uint8) bool {
+		a, b := vecFromInts(as), vecFromInts(bs)
+		if LexCompare(a, a) != 0 || LexCompare(b, b) != 0 {
+			return false
+		}
+		return LexCompare(a, b) == -LexCompare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexCompareIsTransitive(t *testing.T) {
+	f := func(as, bs, cs []uint8) bool {
+		a, b, c := vecFromInts(as), vecFromInts(bs), vecFromInts(cs)
+		// Order the three vectors pairwise and check transitivity of ≤.
+		le := func(x, y Vec) bool { return LexCompare(x, y) <= 0 }
+		if le(a, b) && le(b, c) && !le(a, c) {
+			return false
+		}
+		if le(c, b) && le(b, a) && !le(c, a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedCopyIsSortedAndPermutation(t *testing.T) {
+	f := func(as []uint8) bool {
+		v := vecFromInts(as)
+		s := v.SortedCopy()
+		if len(s) != len(v) {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i-1].Cmp(s[i]) > 0 {
+				return false
+			}
+		}
+		// Same multiset: sums and min match (cheap permutation check
+		// for the small value domain used here), plus sorting twice is
+		// idempotent.
+		if s.Sum().Cmp(v.Sum()) != 0 {
+			return false
+		}
+		return s.SortedCopy().Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	a := R(1, 3)
+	b := Copy(a)
+	b.Add(b, One())
+	if a.Cmp(R(1, 3)) != 0 {
+		t.Error("Copy aliased its argument")
+	}
+}
+
+func TestMinMaxBothOrders(t *testing.T) {
+	a, b := R(2, 3), R(1, 3)
+	if Min(a, b).Cmp(b) != 0 || Min(b, a).Cmp(b) != 0 {
+		t.Error("Min wrong for reversed arguments")
+	}
+	if Max(a, b).Cmp(a) != 0 || Max(b, a).Cmp(a) != 0 {
+		t.Error("Max wrong for reversed arguments")
+	}
+	if Min(a, a).Cmp(a) != 0 || Max(a, a).Cmp(a) != 0 {
+		t.Error("Min/Max wrong for equal arguments")
+	}
+}
+
+func TestNewVec(t *testing.T) {
+	v := NewVec(3)
+	if len(v) != 3 {
+		t.Fatalf("len = %d", len(v))
+	}
+	for i, x := range v {
+		if x.Sign() != 0 {
+			t.Errorf("element %d = %v, want 0", i, x)
+		}
+	}
+	// Elements must be distinct values, not shared pointers.
+	v[0].Add(v[0], One())
+	if v[1].Sign() != 0 {
+		t.Error("NewVec elements share storage")
+	}
+}
+
+func TestVecStringAndFloats(t *testing.T) {
+	v := VecOf(1, 2, 1, 1)
+	if got := v.String(); got != "[1/2, 1]" {
+		t.Errorf("String = %q", got)
+	}
+	fs := v.Floats()
+	if len(fs) != 2 || fs[0] != 0.5 || fs[1] != 1 {
+		t.Errorf("Floats = %v", fs)
+	}
+}
+
+func TestVecEqualMismatches(t *testing.T) {
+	if VecOf(1, 2).Equal(VecOf(1, 2, 1, 2)) {
+		t.Error("length mismatch reported equal")
+	}
+	if VecOf(1, 2).Equal(VecOf(1, 3)) {
+		t.Error("value mismatch reported equal")
+	}
+}
+
+func TestVecMinElemLaterMinimum(t *testing.T) {
+	v := VecOf(1, 1, 1, 3, 1, 2)
+	if got := v.MinElem(); got.Cmp(R(1, 3)) != 0 {
+		t.Errorf("MinElem = %v, want 1/3", got)
+	}
+	// Returned value is a copy.
+	m := v.MinElem()
+	m.Add(m, One())
+	if v[1].Cmp(R(1, 3)) != 0 {
+		t.Error("MinElem aliased an element")
+	}
+}

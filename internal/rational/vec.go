@@ -1,0 +1,132 @@
+package rational
+
+import (
+	"math/big"
+	"sort"
+)
+
+// Vec is a vector of exact rationals, e.g. the rates of an allocation.
+// The elements are treated as immutable.
+type Vec []*big.Rat
+
+// NewVec returns a vector of n fresh zeros.
+func NewVec(n int) Vec {
+	v := make(Vec, n)
+	for i := range v {
+		v[i] = new(big.Rat)
+	}
+	return v
+}
+
+// VecOf builds a vector from (p, q) integer pairs, one pair per element.
+// It panics if the argument count is odd; it is intended for test and
+// example literals such as VecOf(1,3, 1,3, 2,3).
+func VecOf(pq ...int64) Vec {
+	if len(pq)%2 != 0 {
+		panic("rational.VecOf: odd number of arguments")
+	}
+	v := make(Vec, 0, len(pq)/2)
+	for i := 0; i < len(pq); i += 2 {
+		v = append(v, big.NewRat(pq[i], pq[i+1]))
+	}
+	return v
+}
+
+// Copy returns a deep copy of v.
+func (v Vec) Copy() Vec {
+	w := make(Vec, len(v))
+	for i, x := range v {
+		w[i] = new(big.Rat).Set(x)
+	}
+	return w
+}
+
+// Sum returns the total of all elements.
+func (v Vec) Sum() *big.Rat {
+	s := new(big.Rat)
+	for _, x := range v {
+		s.Add(s, x)
+	}
+	return s
+}
+
+// MinElem returns a copy of the smallest element. It panics on an empty
+// vector.
+func (v Vec) MinElem() *big.Rat {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x.Cmp(m) < 0 {
+			m = x
+		}
+	}
+	return new(big.Rat).Set(m)
+}
+
+// SortedCopy returns the sorted vector v↑ of the paper: the elements of v
+// in non-decreasing order. v itself is not modified.
+func (v Vec) SortedCopy() Vec {
+	w := v.Copy()
+	sort.Slice(w, func(i, j int) bool { return w[i].Cmp(w[j]) < 0 })
+	return w
+}
+
+// Equal reports whether v and w have the same length and equal elements
+// position by position.
+func (v Vec) Equal(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i].Cmp(w[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats v as "[a, b, c]" with elements in lowest terms.
+func (v Vec) String() string {
+	return Join(v)
+}
+
+// Floats returns the float64 image of v, for reporting.
+func (v Vec) Floats() []float64 {
+	fs := make([]float64, len(v))
+	for i, x := range v {
+		fs[i] = Float(x)
+	}
+	return fs
+}
+
+// LexCompare compares two vectors in lexicographic order, element by
+// element, returning -1, 0 or +1. Vectors of different lengths are compared
+// on their common prefix first; if the prefixes are equal the shorter
+// vector is considered smaller (this case does not arise when comparing
+// allocations of the same flow collection, which always have equal length).
+func LexCompare(a, b Vec) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := a[i].Cmp(b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// LexCompareSorted sorts copies of a and b and compares them
+// lexicographically: this is exactly the order "a↑ ≥ b↑" used by
+// Definition 2.1 (max-min fairness) and Definition 2.4 (lex-max-min
+// fairness) in the paper.
+func LexCompareSorted(a, b Vec) int {
+	return LexCompare(a.SortedCopy(), b.SortedCopy())
+}

@@ -1,0 +1,144 @@
+// Package render produces human-readable text views of topologies,
+// routings and allocations: a stage diagram of a Clos network, a per-flow
+// allocation table with bottleneck annotations (the analysis view used by
+// the examples and the clostopo tool), and a fabric-utilization heat
+// table. Everything is plain ASCII/Unicode text; no terminal control
+// codes.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"closnet/internal/core"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// ClosDiagram renders the stage structure of a Clos network: one line per
+// input switch with its servers, the middle stage, and one line per
+// output switch.
+func ClosDiagram(c *topology.Clos) string {
+	var b strings.Builder
+	net := c.Network()
+	fmt.Fprintf(&b, "%s: %d ToR pairs x %d servers, %d middle switches\n",
+		net.Name(), c.NumToRs(), c.ServersPerToR(), c.Size())
+
+	middles := make([]string, c.Size())
+	for m := 1; m <= c.Size(); m++ {
+		middles[m-1] = net.Node(c.Middle(m)).Name
+	}
+	fmt.Fprintf(&b, "  middle stage: %s\n", strings.Join(middles, " "))
+
+	for i := 1; i <= c.NumToRs(); i++ {
+		srcs := make([]string, c.ServersPerToR())
+		dsts := make([]string, c.ServersPerToR())
+		for j := 1; j <= c.ServersPerToR(); j++ {
+			srcs[j-1] = net.Node(c.Source(i, j)).Name
+			dsts[j-1] = net.Node(c.Dest(i, j)).Name
+		}
+		fmt.Fprintf(&b, "  %s <- {%s}   {%s} <- %s\n",
+			net.Node(c.Input(i)).Name, strings.Join(srcs, ", "),
+			strings.Join(dsts, ", "), net.Node(c.Output(i)).Name)
+	}
+	return b.String()
+}
+
+// AllocationTable renders one line per flow: endpoints, path (for Clos
+// routings: the middle switch), exact rate, and the flow's bottleneck
+// links under the allocation. It returns an error if the allocation is
+// infeasible.
+func AllocationTable(net *topology.Network, fs core.Collection, r core.Routing, a core.Allocation) (string, error) {
+	reports, err := core.Bottlenecks(net, fs, r, a)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-22s %-8s %s\n", "flow", "route", "rate", "bottlenecks")
+	for fi, f := range fs {
+		route := fmt.Sprintf("%s->%s", net.Node(f.Src).Name, net.Node(f.Dst).Name)
+		if mid := middleOf(net, r[fi]); mid != "" {
+			route += " via " + mid
+		}
+		var bns []string
+		for _, l := range reports[fi].Links {
+			bns = append(bns, net.LinkName(l))
+		}
+		marker := strings.Join(bns, ", ")
+		if marker == "" {
+			marker = "(none — not max-min fair)"
+		}
+		fmt.Fprintf(&b, "f%-3d %-22s %-8s %s\n", fi, route, rational.String(a[fi]), marker)
+	}
+	fmt.Fprintf(&b, "throughput: %s\n", rational.String(core.Throughput(a)))
+	return b.String(), nil
+}
+
+// middleOf returns the middle-switch name a Clos path traverses, or "".
+func middleOf(net *topology.Network, p topology.Path) string {
+	for _, l := range p {
+		to := net.Node(net.Link(l).To)
+		if to.Kind == topology.KindMiddleSwitch {
+			return to.Name
+		}
+	}
+	return ""
+}
+
+// FabricUtilization renders the load of every fabric link of a Clos
+// network as two grids (input->middle and middle->output), with loads in
+// lowest terms and saturated links marked with '*'.
+func FabricUtilization(c *topology.Clos, r core.Routing, a core.Allocation) string {
+	net := c.Network()
+	loads := core.LinkLoads(net, r, a)
+	var b strings.Builder
+
+	grid := func(title string, from func(i int) topology.NodeID, to func(m int) topology.NodeID, rows, cols int, flip bool) {
+		fmt.Fprintf(&b, "%s\n", title)
+		fmt.Fprintf(&b, "%8s", "")
+		for m := 1; m <= cols; m++ {
+			fmt.Fprintf(&b, " %8s", fmt.Sprintf("M%d", m))
+		}
+		b.WriteByte('\n')
+		for i := 1; i <= rows; i++ {
+			label := net.Node(from(i)).Name
+			if flip {
+				label = net.Node(to(i)).Name
+			}
+			fmt.Fprintf(&b, "%8s", label)
+			for m := 1; m <= cols; m++ {
+				var id topology.LinkID
+				var ok bool
+				if flip {
+					id, ok = net.LinkBetween(c.Middle(m), c.Output(i))
+				} else {
+					id, ok = net.LinkBetween(c.Input(i), c.Middle(m))
+				}
+				cell := "-"
+				if ok {
+					cell = rational.String(loads[id])
+					if loads[id].Cmp(net.Link(id).Capacity) == 0 {
+						cell += "*"
+					}
+				}
+				fmt.Fprintf(&b, " %8s", cell)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	grid("input -> middle loads ('*' = saturated):",
+		func(i int) topology.NodeID { return c.Input(i) },
+		func(m int) topology.NodeID { return c.Middle(m) },
+		c.NumToRs(), c.Size(), false)
+	grid("middle -> output loads ('*' = saturated):",
+		func(i int) topology.NodeID { return c.Output(i) },
+		func(m int) topology.NodeID { return c.Output(m) },
+		c.NumToRs(), c.Size(), true)
+	return b.String()
+}
+
+// SortedVector renders a↑ together with its throughput, the way the
+// paper quotes allocations.
+func SortedVector(a core.Allocation) string {
+	return fmt.Sprintf("%s (throughput %s)", a.SortedCopy(), rational.String(core.Throughput(a)))
+}

@@ -1,0 +1,118 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"closnet/internal/adversary"
+	"closnet/internal/core"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+func example23(t *testing.T) (*adversary.Instance, core.Routing, core.Allocation) {
+	t.Helper()
+	in, err := adversary.Example23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.ClosRouting(in.Clos, in.Flows, in.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.MaxMinFair(in.Clos.Network(), in.Flows, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, r, a
+}
+
+func TestClosDiagram(t *testing.T) {
+	c := topology.MustClos(2)
+	out := ClosDiagram(c)
+	for _, want := range []string{"C_2", "M1 M2", "I1", "O4", "s1.1", "t4.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q:\n%s", want, out)
+		}
+	}
+	// One line per ToR pair plus two headers.
+	if got := strings.Count(out, "\n"); got != 2+4 {
+		t.Errorf("diagram has %d lines, want 6:\n%s", got, out)
+	}
+}
+
+func TestAllocationTable(t *testing.T) {
+	in, r, a := example23(t)
+	out, err := AllocationTable(in.Clos.Network(), in.Flows, r, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"via M1", "via M2", "1/3", "2/3", "throughput: 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "(none") {
+		t.Errorf("max-min fair allocation reported missing bottlenecks:\n%s", out)
+	}
+}
+
+func TestAllocationTableSuboptimal(t *testing.T) {
+	in, r, a := example23(t)
+	// Scale all rates down: still feasible, no longer max-min fair.
+	half := a.Copy()
+	for i := range half {
+		half[i] = rational.Mul(half[i], rational.R(1, 2))
+	}
+	out, err := AllocationTable(in.Clos.Network(), in.Flows, r, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(none") {
+		t.Errorf("suboptimal allocation not flagged:\n%s", out)
+	}
+	// Infeasible allocations are rejected.
+	big := a.Copy()
+	for i := range big {
+		big[i] = rational.Int(5)
+	}
+	if _, err := AllocationTable(in.Clos.Network(), in.Flows, r, big); err == nil {
+		t.Error("infeasible allocation accepted")
+	}
+}
+
+func TestFabricUtilization(t *testing.T) {
+	in, r, a := example23(t)
+	out := FabricUtilization(in.Clos, r, a)
+	for _, want := range []string{"input -> middle", "middle -> output", "M1", "M2", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("utilization missing %q:\n%s", want, out)
+		}
+	}
+	// I1->M1 is saturated in routing A (type-1 flow 1/3 + type-3 2/3).
+	if !strings.Contains(out, "1*") {
+		t.Errorf("expected a saturated unit link marked '1*':\n%s", out)
+	}
+}
+
+func TestSortedVector(t *testing.T) {
+	_, _, a := example23(t)
+	out := SortedVector(a)
+	if !strings.Contains(out, "[1/3, 1/3, 1/3, 2/3, 2/3, 2/3]") || !strings.Contains(out, "throughput 3") {
+		t.Errorf("sorted vector rendering wrong: %s", out)
+	}
+}
+
+func TestGeneralClosDiagram(t *testing.T) {
+	c, err := topology.NewGeneralClos(3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ClosDiagram(c)
+	if !strings.Contains(out, "3 ToR pairs x 2 servers, 5 middle switches") {
+		t.Errorf("general shape not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "M5") {
+		t.Errorf("middle stage truncated:\n%s", out)
+	}
+}

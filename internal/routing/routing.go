@@ -1,0 +1,291 @@
+// Package routing implements the data-center routing algorithms surveyed
+// in §6, used as baselines for the paper's simulation-based evaluation:
+// flows are offered to the network with their macro-switch rates as
+// demands, and each algorithm assigns every flow to a middle switch
+// trying to keep link congestion low. The resulting max-min fair rates
+// (computed by congestion control, i.e. package core's water-filler) are
+// then compared against the macro-switch rates.
+//
+//   - ECMP: each flow picks a middle switch uniformly at random [2].
+//   - Greedy: flows in descending demand order pick the path minimizing
+//     the resulting maximum link congestion (Hedera-style [3, 4, 18]).
+//   - FirstFit: flows pick the first middle switch whose links still have
+//     spare capacity for the full demand, falling back to greedy.
+//   - LocalSearch: starts from greedy and repeatedly reroutes single
+//     flows while doing so reduces (maxCongestion, sumSquares) [3, 9].
+//
+// Demands are float64: the stochastic evaluation runs thousands of
+// instances and the routing decisions themselves need no exactness (the
+// subsequent rate computation may still use the exact water-filler).
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"closnet/internal/core"
+	"closnet/internal/topology"
+)
+
+// Algorithm is a named routing strategy.
+type Algorithm struct {
+	// Name identifies the algorithm in experiment tables.
+	Name string
+	// Route assigns every flow a middle switch. demands are the offered
+	// rates (typically macro-switch rates) and may be ignored (ECMP).
+	// rng is used by randomized algorithms and must not be nil for them.
+	Route func(c *topology.Clos, fs core.Collection, demands []float64, rng *rand.Rand) (core.MiddleAssignment, error)
+}
+
+// fabric tracks per-link loads of the two fabric stages.
+type fabric struct {
+	c      *topology.Clos
+	inLoad [][]float64 // [input-1][middle-1]
+	outLd  [][]float64 // [output-1][middle-1]
+	inIdx  []int       // per flow
+	outIdx []int       // per flow
+}
+
+func newFabric(c *topology.Clos, fs core.Collection) (*fabric, error) {
+	n := c.Size()
+	f := &fabric{
+		c:      c,
+		inLoad: zeroGrid(c.NumToRs(), n),
+		outLd:  zeroGrid(c.NumToRs(), n),
+		inIdx:  make([]int, len(fs)),
+		outIdx: make([]int, len(fs)),
+	}
+	for fi, fl := range fs {
+		i, ok := c.InputOf(fl.Src)
+		if !ok {
+			return nil, fmt.Errorf("routing: flow %d source is not a server", fi)
+		}
+		o, ok := c.OutputOf(fl.Dst)
+		if !ok {
+			return nil, fmt.Errorf("routing: flow %d destination is not a server", fi)
+		}
+		f.inIdx[fi], f.outIdx[fi] = i, o
+	}
+	return f, nil
+}
+
+func zeroGrid(rows, cols int) [][]float64 {
+	g := make([][]float64, rows)
+	for i := range g {
+		g[i] = make([]float64, cols)
+	}
+	return g
+}
+
+// place adds flow fi with demand d to middle m (1-based).
+func (f *fabric) place(fi, m int, d float64) {
+	f.inLoad[f.inIdx[fi]-1][m-1] += d
+	f.outLd[f.outIdx[fi]-1][m-1] += d
+}
+
+// remove undoes place.
+func (f *fabric) remove(fi, m int, d float64) {
+	f.inLoad[f.inIdx[fi]-1][m-1] -= d
+	f.outLd[f.outIdx[fi]-1][m-1] -= d
+}
+
+// congestionAfter returns the larger of the two fabric-link loads flow fi
+// would see if placed on middle m with demand d.
+func (f *fabric) congestionAfter(fi, m int, d float64) float64 {
+	in := f.inLoad[f.inIdx[fi]-1][m-1] + d
+	out := f.outLd[f.outIdx[fi]-1][m-1] + d
+	if in > out {
+		return in
+	}
+	return out
+}
+
+// maxAndSumSq returns the maximum fabric-link load and the sum of squared
+// loads, the two-level objective of the local search.
+func (f *fabric) maxAndSumSq() (float64, float64) {
+	max, sum := 0.0, 0.0
+	for _, grid := range [][][]float64{f.inLoad, f.outLd} {
+		for _, row := range grid {
+			for _, v := range row {
+				if v > max {
+					max = v
+				}
+				sum += v * v
+			}
+		}
+	}
+	return max, sum
+}
+
+// NewECMP returns the ECMP algorithm: uniform random middle per flow.
+func NewECMP() Algorithm {
+	return Algorithm{
+		Name: "ecmp",
+		Route: func(c *topology.Clos, fs core.Collection, _ []float64, rng *rand.Rand) (core.MiddleAssignment, error) {
+			if rng == nil {
+				return nil, fmt.Errorf("routing: ecmp needs a random source")
+			}
+			if err := fs.Validate(c.Network()); err != nil {
+				return nil, err
+			}
+			ma := make(core.MiddleAssignment, len(fs))
+			for fi := range fs {
+				ma[fi] = rng.Intn(c.Size()) + 1
+			}
+			return ma, nil
+		},
+	}
+}
+
+// NewGreedy returns the greedy least-congested-path algorithm: flows in
+// descending demand order pick the middle minimizing the congestion of
+// their two fabric links.
+func NewGreedy() Algorithm {
+	return Algorithm{
+		Name: "greedy",
+		Route: func(c *topology.Clos, fs core.Collection, demands []float64, _ *rand.Rand) (core.MiddleAssignment, error) {
+			return greedyRoute(c, fs, demands)
+		},
+	}
+}
+
+func greedyRoute(c *topology.Clos, fs core.Collection, demands []float64) (core.MiddleAssignment, error) {
+	if len(demands) != len(fs) {
+		return nil, fmt.Errorf("routing: %d demands for %d flows", len(demands), len(fs))
+	}
+	f, err := newFabric(c, fs)
+	if err != nil {
+		return nil, err
+	}
+	order := byDescendingDemand(demands)
+	ma := make(core.MiddleAssignment, len(fs))
+	for _, fi := range order {
+		best, bestCong := 1, 0.0
+		for m := 1; m <= c.Size(); m++ {
+			cong := f.congestionAfter(fi, m, demands[fi])
+			if m == 1 || cong < bestCong {
+				best, bestCong = m, cong
+			}
+		}
+		ma[fi] = best
+		f.place(fi, best, demands[fi])
+	}
+	return ma, nil
+}
+
+// NewFirstFit returns the first-fit algorithm: each flow (in input order)
+// takes the first middle switch on which its demand still fits within
+// unit capacity; if none fits it takes the least congested middle.
+func NewFirstFit() Algorithm {
+	return Algorithm{
+		Name: "first-fit",
+		Route: func(c *topology.Clos, fs core.Collection, demands []float64, _ *rand.Rand) (core.MiddleAssignment, error) {
+			if len(demands) != len(fs) {
+				return nil, fmt.Errorf("routing: %d demands for %d flows", len(demands), len(fs))
+			}
+			f, err := newFabric(c, fs)
+			if err != nil {
+				return nil, err
+			}
+			const slack = 1e-9 // tolerate float rounding at exactly-full links
+			ma := make(core.MiddleAssignment, len(fs))
+			for fi := range fs {
+				choice := 0
+				for m := 1; m <= c.Size(); m++ {
+					if f.congestionAfter(fi, m, demands[fi]) <= 1+slack {
+						choice = m
+						break
+					}
+				}
+				if choice == 0 {
+					best, bestCong := 1, 0.0
+					for m := 1; m <= c.Size(); m++ {
+						cong := f.congestionAfter(fi, m, demands[fi])
+						if m == 1 || cong < bestCong {
+							best, bestCong = m, cong
+						}
+					}
+					choice = best
+				}
+				ma[fi] = choice
+				f.place(fi, choice, demands[fi])
+			}
+			return ma, nil
+		},
+	}
+}
+
+// NewLocalSearch returns the local-search algorithm: greedy start, then
+// up to maxMoves single-flow reroutes, each strictly reducing the
+// objective (max link congestion, then sum of squared loads).
+func NewLocalSearch(maxMoves int) Algorithm {
+	if maxMoves <= 0 {
+		maxMoves = 1000
+	}
+	return Algorithm{
+		Name: "local-search",
+		Route: func(c *topology.Clos, fs core.Collection, demands []float64, _ *rand.Rand) (core.MiddleAssignment, error) {
+			ma, err := greedyRoute(c, fs, demands)
+			if err != nil {
+				return nil, err
+			}
+			f, err := newFabric(c, fs)
+			if err != nil {
+				return nil, err
+			}
+			for fi, m := range ma {
+				f.place(fi, m, demands[fi])
+			}
+			curMax, curSq := f.maxAndSumSq()
+			for move := 0; move < maxMoves; move++ {
+				improved := false
+				for fi := range fs {
+					orig := ma[fi]
+					for m := 1; m <= c.Size(); m++ {
+						if m == orig {
+							continue
+						}
+						f.remove(fi, orig, demands[fi])
+						f.place(fi, m, demands[fi])
+						newMax, newSq := f.maxAndSumSq()
+						if newMax < curMax || (newMax == curMax && newSq < curSq) {
+							ma[fi] = m
+							curMax, curSq = newMax, newSq
+							improved = true
+							break
+						}
+						f.remove(fi, m, demands[fi])
+						f.place(fi, orig, demands[fi])
+					}
+					if improved {
+						break
+					}
+				}
+				if !improved {
+					break
+				}
+			}
+			return ma, nil
+		},
+	}
+}
+
+// All returns the four baseline algorithms in presentation order.
+func All() []Algorithm {
+	return []Algorithm{NewECMP(), NewGreedy(), NewLocalSearch(0), NewFirstFit()}
+}
+
+func byDescendingDemand(demands []float64) []int {
+	order := make([]int, len(demands))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort keeps the dependency surface small and is plenty for
+	// the instance sizes used in the evaluation.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && demands[order[j]] > demands[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}

@@ -1,0 +1,231 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"closnet/internal/core"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+func uniformDemands(n int, d float64) []float64 {
+	ds := make([]float64, n)
+	for i := range ds {
+		ds[i] = d
+	}
+	return ds
+}
+
+func randomCollection(rng *rand.Rand, c *topology.Clos, numFlows int) core.Collection {
+	n := c.Size()
+	fs := core.Collection{}
+	for f := 0; f < numFlows; f++ {
+		fs = fs.Add(
+			c.Source(rng.Intn(2*n)+1, rng.Intn(n)+1),
+			c.Dest(rng.Intn(2*n)+1, rng.Intn(n)+1), 1)
+	}
+	return fs
+}
+
+func TestAllAlgorithmsProduceValidAssignments(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	c := topology.MustClos(3)
+	fs := randomCollection(rng, c, 20)
+	demands := uniformDemands(len(fs), 0.3)
+	for _, alg := range All() {
+		t.Run(alg.Name, func(t *testing.T) {
+			ma, err := alg.Route(c, fs, demands, rng)
+			if err != nil {
+				t.Fatalf("Route: %v", err)
+			}
+			if len(ma) != len(fs) {
+				t.Fatalf("assignment length %d, want %d", len(ma), len(fs))
+			}
+			if _, err := core.ClosRouting(c, fs, ma); err != nil {
+				t.Fatalf("invalid assignment: %v", err)
+			}
+		})
+	}
+}
+
+func TestAlgorithmNamesAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, alg := range All() {
+		if alg.Name == "" {
+			t.Error("unnamed algorithm")
+		}
+		if seen[alg.Name] {
+			t.Errorf("duplicate algorithm name %q", alg.Name)
+		}
+		seen[alg.Name] = true
+	}
+}
+
+func TestECMPNeedsRNGAndIsUniformIsh(t *testing.T) {
+	c := topology.MustClos(4)
+	fs := randomCollection(rand.New(rand.NewSource(1)), c, 400)
+	if _, err := NewECMP().Route(c, fs, nil, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	ma, err := NewECMP().Route(c, fs, nil, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, c.Size()+1)
+	for _, m := range ma {
+		counts[m]++
+	}
+	for m := 1; m <= c.Size(); m++ {
+		if counts[m] < 50 || counts[m] > 150 {
+			t.Errorf("middle %d got %d of 400 flows; not uniform-ish", m, counts[m])
+		}
+	}
+}
+
+// TestGreedySpreadsParallelFlows: n parallel unit-demand flows between
+// the same pair must land on n distinct middles under greedy.
+func TestGreedySpreadsParallelFlows(t *testing.T) {
+	c := topology.MustClos(3)
+	fs := core.Collection{}.Add(c.Source(1, 1), c.Dest(2, 1), 3)
+	ma, err := NewGreedy().Route(c, fs, uniformDemands(3, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, m := range ma {
+		if seen[m] {
+			t.Fatalf("greedy stacked parallel unit flows on middle %d (assignment %v)", m, ma)
+		}
+		seen[m] = true
+	}
+}
+
+func TestGreedyDemandMismatch(t *testing.T) {
+	c := topology.MustClos(2)
+	fs := core.Collection{}.Add(c.Source(1, 1), c.Dest(1, 1), 2)
+	if _, err := NewGreedy().Route(c, fs, uniformDemands(1, 1), nil); err == nil {
+		t.Error("demand length mismatch accepted")
+	}
+	bad := core.Collection{{Src: c.Input(1), Dst: c.Dest(1, 1)}}
+	if _, err := NewGreedy().Route(c, bad, uniformDemands(1, 1), nil); err == nil {
+		t.Error("invalid flow accepted")
+	}
+}
+
+// TestFirstFitPacksThenSpreads: first-fit packs small flows onto middle 1
+// until full, then moves on.
+func TestFirstFitPacksThenSpreads(t *testing.T) {
+	c := topology.MustClos(2)
+	// Four flows of demand 1/2 between the same switch pair: two fit on
+	// M1, the rest must go to M2.
+	fs := core.Collection{}.Add(c.Source(1, 1), c.Dest(2, 1), 2)
+	fs = fs.Add(c.Source(1, 2), c.Dest(2, 2), 2)
+	ma, err := NewFirstFit().Route(c, fs, uniformDemands(4, 0.5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, m := range ma {
+		counts[m]++
+	}
+	if counts[1] != 2 || counts[2] != 2 {
+		t.Errorf("first-fit distribution %v, want 2 per middle", counts)
+	}
+}
+
+func TestFirstFitFallbackWhenNothingFits(t *testing.T) {
+	c := topology.MustClos(2)
+	// Three unit flows through the same input switch: only two middles,
+	// so the third cannot fit and must fall back to least congested.
+	fs := core.Collection{}.Add(c.Source(1, 1), c.Dest(2, 1), 1)
+	fs = fs.Add(c.Source(1, 2), c.Dest(3, 1), 1)
+	fs = fs.Add(c.Source(1, 2), c.Dest(4, 1), 1)
+	ma, err := NewFirstFit().Route(c, fs, uniformDemands(3, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ma) != 3 {
+		t.Fatalf("assignment %v", ma)
+	}
+}
+
+// TestLocalSearchNeverWorseThanGreedy compares the max fabric congestion
+// of local search against greedy on random instances.
+func TestLocalSearchNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		c := topology.MustClos(rng.Intn(3) + 2)
+		fs := randomCollection(rng, c, rng.Intn(25)+5)
+		demands := make([]float64, len(fs))
+		for i := range demands {
+			demands[i] = rng.Float64()
+		}
+		gMax := maxCongestion(t, c, fs, demands, NewGreedy(), nil)
+		lMax := maxCongestion(t, c, fs, demands, NewLocalSearch(0), nil)
+		if lMax > gMax+1e-9 {
+			t.Fatalf("trial %d: local search congestion %v > greedy %v", trial, lMax, gMax)
+		}
+	}
+}
+
+func maxCongestion(t *testing.T, c *topology.Clos, fs core.Collection, demands []float64, alg Algorithm, rng *rand.Rand) float64 {
+	t.Helper()
+	ma, err := alg.Route(c, fs, demands, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := newFabric(c, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, m := range ma {
+		f.place(fi, m, demands[fi])
+	}
+	max, _ := f.maxAndSumSq()
+	return max
+}
+
+// TestLocalSearchFixesGreedyMistake: an instance where a later large flow
+// invalidates an earlier greedy placement; local search must reach max
+// congestion 1.
+func TestLocalSearchFixesBadStart(t *testing.T) {
+	c := topology.MustClos(2)
+	// Two flows from I1 (demands 1, 1) and one from I2 colliding at O3.
+	fs := core.NewCollection(
+		c.Source(1, 1), c.Dest(3, 1),
+		c.Source(1, 2), c.Dest(3, 2),
+		c.Source(2, 1), c.Dest(4, 1),
+	)
+	demands := []float64{1, 1, 1}
+	lMax := maxCongestion(t, c, fs, demands, NewLocalSearch(0), nil)
+	if lMax > 1+1e-9 {
+		t.Errorf("local search max congestion %v, want 1", lMax)
+	}
+}
+
+// TestGreedyApproximatesMacroRatesOnLightLoad: with a light permutation
+// workload the greedy routing should let every flow keep its macro rate
+// (here: all rates 1).
+func TestGreedyApproximatesMacroRatesOnLightLoad(t *testing.T) {
+	c := topology.MustClos(3)
+	fs := core.Collection{}
+	for i := 1; i <= 6; i++ {
+		for j := 1; j <= 3; j++ {
+			fs = fs.Add(c.Source(i, j), c.Dest(i, j), 1)
+		}
+	}
+	ma, err := NewGreedy().Route(c, fs, uniformDemands(len(fs), 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.ClosMaxMinFair(c, fs, ma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, rate := range a {
+		if rate.Cmp(rational.One()) != 0 {
+			t.Errorf("flow %d rate %s, want 1", fi, rational.String(rate))
+		}
+	}
+}

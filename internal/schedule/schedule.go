@@ -1,0 +1,194 @@
+// Package schedule implements the scheduling alternative discussed in
+// the paper's conclusions (§7, R1): instead of letting congestion
+// control share capacity max-min fairly among all flows at once, a
+// scheduler can delay some flows so the others transmit at link
+// capacity — emulating admission control over time — which can reduce
+// average flow completion time (FCT).
+//
+// Two exact, event-driven disciplines are provided:
+//
+//   - FairSharing: all flows start immediately; rates are the max-min
+//     fair allocation, recomputed whenever a flow completes (processor
+//     sharing under congestion control).
+//   - MatchingRounds: at every instant, a maximum matching of the active
+//     flows transmits at rate 1 and everyone else waits (the
+//     admission-control regime of Lemma 3.2, applied repeatedly).
+//
+// All times are exact rationals, so FCT comparisons are decidable.
+package schedule
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"closnet/internal/core"
+	"closnet/internal/matching"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// FairSharing simulates max-min fair sharing of the network among all
+// flows simultaneously: every flow starts at time 0 with the given size
+// (amount of data, in capacity·time units) and transmits at its max-min
+// fair rate, recomputed each time a flow completes. It returns the exact
+// completion time of each flow.
+func FairSharing(net *topology.Network, fs core.Collection, r core.Routing, sizes rational.Vec) (rational.Vec, error) {
+	if len(sizes) != len(fs) {
+		return nil, fmt.Errorf("schedule: %d sizes for %d flows", len(sizes), len(fs))
+	}
+	if err := r.Validate(net, fs); err != nil {
+		return nil, fmt.Errorf("schedule: %w", err)
+	}
+	nf := len(fs)
+	times := make(rational.Vec, nf)
+	remaining := sizes.Copy()
+	active := make([]int, 0, nf)
+	for fi, size := range sizes {
+		if size.Sign() <= 0 {
+			return nil, fmt.Errorf("schedule: flow %d has non-positive size %s", fi, rational.String(size))
+		}
+		active = append(active, fi)
+	}
+	now := rational.Zero()
+
+	for len(active) > 0 {
+		subFlows := make(core.Collection, len(active))
+		subRouting := make(core.Routing, len(active))
+		for k, fi := range active {
+			subFlows[k] = fs[fi]
+			subRouting[k] = r[fi]
+		}
+		rates, err := core.MaxMinFair(net, subFlows, subRouting)
+		if err != nil {
+			return nil, err
+		}
+		// Earliest completion among active flows.
+		var dt *big.Rat
+		for k, fi := range active {
+			if rates[k].Sign() <= 0 {
+				return nil, fmt.Errorf("schedule: flow %d has zero max-min rate", fi)
+			}
+			d := rational.Div(remaining[fi], rates[k])
+			if dt == nil || d.Cmp(dt) < 0 {
+				dt = d
+			}
+		}
+		now = rational.Add(now, dt)
+		next := active[:0]
+		for k, fi := range active {
+			transferred := rational.Mul(rates[k], dt)
+			remaining[fi] = rational.Sub(remaining[fi], transferred)
+			if remaining[fi].Sign() <= 0 {
+				times[fi] = rational.Copy(now)
+			} else {
+				next = append(next, fi)
+			}
+		}
+		active = next
+	}
+	return times, nil
+}
+
+// MatchingRounds schedules the flows of a macro-switch in the
+// admission-control regime: at every instant a maximum matching of the
+// still-active flows transmits at rate 1 (link capacity) while all other
+// flows are delayed, and the matching is recomputed whenever a flow
+// completes. It returns the exact completion time of each flow.
+//
+// The schedule is feasible in the macro-switch by Lemma 3.2, and
+// feasible in the corresponding Clos network by Lemma 5.2 (a matching is
+// link-disjointly routable), so its FCTs are achievable in both.
+func MatchingRounds(fs core.Collection, sizes rational.Vec) (rational.Vec, error) {
+	if len(sizes) != len(fs) {
+		return nil, fmt.Errorf("schedule: %d sizes for %d flows", len(sizes), len(fs))
+	}
+	nf := len(fs)
+	times := make(rational.Vec, nf)
+	remaining := sizes.Copy()
+	active := make(map[int]bool, nf)
+	for fi, size := range sizes {
+		if size.Sign() <= 0 {
+			return nil, fmt.Errorf("schedule: flow %d has non-positive size %s", fi, rational.String(size))
+		}
+		active[fi] = true
+	}
+	now := rational.Zero()
+
+	for len(active) > 0 {
+		// Maximum matching among active flows.
+		idx := make([]int, 0, len(active))
+		for fi := range active {
+			idx = append(idx, fi)
+		}
+		// Deterministic order for reproducibility.
+		sort.Ints(idx)
+		g, err := activeGraph(fs, idx)
+		if err != nil {
+			return nil, err
+		}
+		m, err := matching.MaxMatching(g)
+		if err != nil {
+			return nil, err
+		}
+		if len(m) == 0 {
+			return nil, fmt.Errorf("schedule: no matching among %d active flows", len(active))
+		}
+		// Matched flows transmit at rate 1 until the first completes.
+		var dt *big.Rat
+		for _, ei := range m {
+			fi := idx[ei]
+			if dt == nil || remaining[fi].Cmp(dt) < 0 {
+				dt = remaining[fi]
+			}
+		}
+		dt = rational.Copy(dt)
+		now = rational.Add(now, dt)
+		for _, ei := range m {
+			fi := idx[ei]
+			remaining[fi] = rational.Sub(remaining[fi], dt)
+			if remaining[fi].Sign() <= 0 {
+				times[fi] = rational.Copy(now)
+				delete(active, fi)
+			}
+		}
+	}
+	return times, nil
+}
+
+// activeGraph builds the G^MS multigraph restricted to the flows with
+// the given indices; edge i corresponds to idx[i].
+func activeGraph(fs core.Collection, idx []int) (matching.Graph, error) {
+	srcIdx := make(map[topology.NodeID]int)
+	dstIdx := make(map[topology.NodeID]int)
+	g := matching.Graph{}
+	for _, fi := range idx {
+		f := fs[fi]
+		if _, ok := srcIdx[f.Src]; !ok {
+			srcIdx[f.Src] = len(srcIdx)
+		}
+		if _, ok := dstIdx[f.Dst]; !ok {
+			dstIdx[f.Dst] = len(dstIdx)
+		}
+		g.Edges = append(g.Edges, matching.Edge{Left: srcIdx[f.Src], Right: dstIdx[f.Dst]})
+	}
+	g.NumLeft, g.NumRight = len(srcIdx), len(dstIdx)
+	return g, nil
+}
+
+// AverageFCT returns the mean of the completion times.
+func AverageFCT(times rational.Vec) *big.Rat {
+	if len(times) == 0 {
+		return rational.Zero()
+	}
+	return rational.Div(times.Sum(), rational.Int(int64(len(times))))
+}
+
+// UnitSizes returns a size vector of n ones.
+func UnitSizes(n int) rational.Vec {
+	sizes := make(rational.Vec, n)
+	for i := range sizes {
+		sizes[i] = rational.One()
+	}
+	return sizes
+}

@@ -1,0 +1,232 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"closnet/internal/adversary"
+	"closnet/internal/core"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// theorem34Flows builds the Theorem 3.4 macro collection with k type-2
+// flows and its forced routing.
+func theorem34Flows(t *testing.T, k int) (*topology.MacroSwitch, core.Collection, core.Routing) {
+	t.Helper()
+	in, err := adversary.Theorem34(1, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.MacroRouting(in.Macro, in.MacroFlows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Macro, in.MacroFlows, r
+}
+
+func TestFairSharingTheorem34(t *testing.T) {
+	// All k+2 unit flows share at rate 1/(k+1), so all complete at k+1.
+	for _, k := range []int{1, 3, 8} {
+		ms, fs, r := theorem34Flows(t, k)
+		times, err := FairSharing(ms.Network(), fs, r, UnitSizes(len(fs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rational.Int(int64(k + 1))
+		for fi, tm := range times {
+			if tm.Cmp(want) != 0 {
+				t.Errorf("k=%d: flow %d completes at %s, want %s", k, fi, rational.String(tm), rational.String(want))
+			}
+		}
+	}
+}
+
+func TestMatchingRoundsTheorem34(t *testing.T) {
+	// The two type-1 flows transmit immediately at rate 1 (complete at
+	// t=1); the k parasitic type-2 flows share a server pair, so they
+	// serialize: completions at 1, 2, ..., k (the first type-2 unit can
+	// run concurrently with the type-1 flow (s1.1, t1.1)? No: it blocks
+	// on t1.1) — they finish at 2, 3, ..., k+1.
+	k := 4
+	_, fs, _ := theorem34Flows(t, k)
+	times, err := MatchingRounds(fs, UnitSizes(len(fs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flows 0,1 are type-1; flows 2..k+1 are type-2.
+	if times[0].Cmp(rational.One()) != 0 || times[1].Cmp(rational.One()) != 0 {
+		t.Errorf("type-1 completions = %s, %s; want 1, 1",
+			rational.String(times[0]), rational.String(times[1]))
+	}
+	// Type-2 completions are 2, 3, ..., k+1 in some order.
+	got := make(rational.Vec, 0, k)
+	for fi := 2; fi < len(times); fi++ {
+		got = append(got, times[fi])
+	}
+	sorted := got.SortedCopy()
+	for i := 0; i < k; i++ {
+		want := rational.Int(int64(i + 2))
+		if sorted[i].Cmp(want) != 0 {
+			t.Errorf("type-2 completion %d = %s, want %s", i, rational.String(sorted[i]), rational.String(want))
+		}
+	}
+}
+
+// TestSchedulingBeatsFairSharingOnAverage is the §7 R1 claim: on the
+// price-of-fairness family, the matching scheduler's average FCT is
+// strictly below fair sharing's.
+func TestSchedulingBeatsFairSharingOnAverage(t *testing.T) {
+	for _, k := range []int{2, 8, 32} {
+		ms, fs, r := theorem34Flows(t, k)
+		sizes := UnitSizes(len(fs))
+		fair, err := FairSharing(ms.Network(), fs, r, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := MatchingRounds(fs, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if AverageFCT(sched).Cmp(AverageFCT(fair)) >= 0 {
+			t.Errorf("k=%d: scheduled avg FCT %s not below fair sharing %s",
+				k, rational.String(AverageFCT(sched)), rational.String(AverageFCT(fair)))
+		}
+	}
+}
+
+func TestFairSharingSingleFlow(t *testing.T) {
+	ms := topology.MustMacroSwitch(1)
+	fs := core.NewCollection(ms.Source(1, 1), ms.Dest(1, 1))
+	r, err := core.MacroRouting(ms, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := FairSharing(ms.Network(), fs, r, rational.VecOf(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times[0].Cmp(rational.R(3, 2)) != 0 {
+		t.Errorf("completion = %s, want 3/2", rational.String(times[0]))
+	}
+}
+
+func TestFairSharingHeterogeneousSizes(t *testing.T) {
+	// Two flows sharing one link, sizes 1 and 2: both at rate 1/2 until
+	// t=2 (flow 0 done), then flow 1 at rate 1, finishing at 2 + 1 = 3.
+	ms := topology.MustMacroSwitch(1)
+	fs := core.NewCollection(
+		ms.Source(1, 1), ms.Dest(1, 1),
+		ms.Source(1, 1), ms.Dest(2, 1),
+	)
+	r, err := core.MacroRouting(ms, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := FairSharing(ms.Network(), fs, r, rational.VecOf(1, 1, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times[0].Cmp(rational.Int(2)) != 0 {
+		t.Errorf("flow 0 completes at %s, want 2", rational.String(times[0]))
+	}
+	if times[1].Cmp(rational.Int(3)) != 0 {
+		t.Errorf("flow 1 completes at %s, want 3", rational.String(times[1]))
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	ms := topology.MustMacroSwitch(1)
+	fs := core.NewCollection(ms.Source(1, 1), ms.Dest(1, 1))
+	r, err := core.MacroRouting(ms, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FairSharing(ms.Network(), fs, r, rational.Vec{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := FairSharing(ms.Network(), fs, r, rational.VecOf(0, 1)); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := MatchingRounds(fs, rational.Vec{}); err == nil {
+		t.Error("size mismatch accepted by MatchingRounds")
+	}
+	if _, err := MatchingRounds(fs, rational.VecOf(-1, 1)); err == nil {
+		t.Error("negative size accepted by MatchingRounds")
+	}
+}
+
+// TestMatchingRoundsMakespanOptimalForPermutations: a permutation
+// workload is one perfect matching, so everything completes at t=1 and
+// both disciplines agree.
+func TestMatchingRoundsPermutation(t *testing.T) {
+	ms := topology.MustMacroSwitch(2)
+	fs := core.Collection{}
+	for i := 1; i <= 4; i++ {
+		for j := 1; j <= 2; j++ {
+			fs = fs.Add(ms.Source(i, j), ms.Dest(i, j), 1)
+		}
+	}
+	sched, err := MatchingRounds(fs, UnitSizes(len(fs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.MacroRouting(ms, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := FairSharing(ms.Network(), fs, r, UnitSizes(len(fs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi := range fs {
+		if sched[fi].Cmp(rational.One()) != 0 || fair[fi].Cmp(rational.One()) != 0 {
+			t.Errorf("flow %d: sched %s fair %s, want 1 and 1",
+				fi, rational.String(sched[fi]), rational.String(fair[fi]))
+		}
+	}
+}
+
+// TestDisciplinesConserveWork checks on random instances that both
+// disciplines transfer exactly the offered bytes: the sum of sizes
+// equals the integral of per-flow rates (implied by exact completion
+// times being consistent with sizes; here we check completion times are
+// positive and at least size/1, i.e. no flow beats link capacity).
+func TestDisciplinesConserveWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	ms := topology.MustMacroSwitch(2)
+	for trial := 0; trial < 10; trial++ {
+		fs := core.Collection{}
+		nf := rng.Intn(6) + 2
+		sizes := make(rational.Vec, 0, nf)
+		for f := 0; f < nf; f++ {
+			fs = fs.Add(
+				ms.Source(rng.Intn(4)+1, rng.Intn(2)+1),
+				ms.Dest(rng.Intn(4)+1, rng.Intn(2)+1), 1)
+			sizes = append(sizes, rational.R(int64(rng.Intn(3)+1), 2))
+		}
+		r, err := core.MacroRouting(ms, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fair, err := FairSharing(ms.Network(), fs, r, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := MatchingRounds(fs, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := range fs {
+			// No discipline can beat transmitting alone at capacity 1.
+			if fair[fi].Cmp(sizes[fi]) < 0 {
+				t.Fatalf("trial %d: fair FCT %s below size %s", trial,
+					rational.String(fair[fi]), rational.String(sizes[fi]))
+			}
+			if sched[fi].Cmp(sizes[fi]) < 0 {
+				t.Fatalf("trial %d: sched FCT %s below size %s", trial,
+					rational.String(sched[fi]), rational.String(sizes[fi]))
+			}
+		}
+	}
+}

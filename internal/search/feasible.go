@@ -1,0 +1,209 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"closnet/internal/core"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// ErrSearchBudget is returned when the feasibility backtracker exceeds
+// its node budget before reaching a certified answer.
+var ErrSearchBudget = errors.New("search: feasibility search exceeded node budget")
+
+// DefaultMaxNodes bounds the feasibility backtracker's search tree.
+const DefaultMaxNodes = 5_000_000
+
+// FeasibleRouting decides whether the flows, offered with the given fixed
+// demands (typically their macro-switch rates, as in §4.1), admit a
+// routing of C_n in which every link capacity is satisfied. It returns a
+// witness assignment if one exists. The answer is exact: when it reports
+// infeasibility the whole (pruned) space was refuted.
+//
+// The search assigns flows in descending demand order with exact
+// remaining-capacity pruning on fabric links, mirroring the available-
+// capacity argument of Example 4.1. Server links are checked up front:
+// their loads do not depend on the routing.
+func FeasibleRouting(c *topology.Clos, fs core.Collection, demands rational.Vec, maxNodes int) (core.MiddleAssignment, bool, error) {
+	var witness core.MiddleAssignment
+	found := false
+	err := forEachFeasible(c, fs, demands, maxNodes, func(ma core.MiddleAssignment) bool {
+		witness = ma.Copy()
+		found = true
+		return false // stop at first witness
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return witness, found, nil
+}
+
+// ForEachFeasibleRouting enumerates the feasible routings for the given
+// demands, invoking visit for each; visit returns false to stop early.
+// The assignment passed to visit is only valid during the call. It is
+// used to check structural claims quantified over all feasible routings,
+// such as Claim 4.5.
+//
+// Enumeration is up to interchangeability: flows with the same input
+// switch, output switch and demand are indistinguishable to every fabric
+// constraint, so only one canonical representative per equivalence class
+// of routings is visited (within a class, middles are assigned in
+// non-decreasing order). Any structural property invariant under
+// permuting identical flows — such as the counting conditions of
+// Claim 4.5 — is therefore checked over all feasible routings.
+func ForEachFeasibleRouting(c *topology.Clos, fs core.Collection, demands rational.Vec, maxNodes int, visit func(core.MiddleAssignment) bool) error {
+	return forEachFeasible(c, fs, demands, maxNodes, visit)
+}
+
+func forEachFeasible(c *topology.Clos, fs core.Collection, demands rational.Vec, maxNodes int, visit func(core.MiddleAssignment) bool) error {
+	if len(demands) != len(fs) {
+		return fmt.Errorf("search: %d demands for %d flows", len(demands), len(fs))
+	}
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	n := c.Size()
+	tors := c.NumToRs()
+	nf := len(fs)
+
+	// Locate each flow's input and output switch.
+	inIdx := make([]int, nf)
+	outIdx := make([]int, nf)
+	for fi, f := range fs {
+		i, ok := c.InputOf(f.Src)
+		if !ok {
+			return fmt.Errorf("search: flow %d source is not a server", fi)
+		}
+		o, ok := c.OutputOf(f.Dst)
+		if !ok {
+			return fmt.Errorf("search: flow %d destination is not a server", fi)
+		}
+		inIdx[fi], outIdx[fi] = i, o
+		if demands[fi].Sign() < 0 {
+			return fmt.Errorf("search: flow %d has negative demand", fi)
+		}
+	}
+
+	// Server links are independent of routing: check them first.
+	one := rational.One()
+	bySource := make(map[topology.NodeID]*big.Rat)
+	byDest := make(map[topology.NodeID]*big.Rat)
+	for fi, f := range fs {
+		addTo(bySource, f.Src, demands[fi])
+		addTo(byDest, f.Dst, demands[fi])
+	}
+	for _, total := range bySource {
+		if total.Cmp(one) > 0 {
+			return nil // infeasible outside the network: no routing helps
+		}
+	}
+	for _, total := range byDest {
+		if total.Cmp(one) > 0 {
+			return nil
+		}
+	}
+
+	// Order flows by descending demand so large flows are placed first —
+	// they prune hardest — and group fabric-interchangeable flows (same
+	// input switch, output switch and demand) consecutively so the
+	// canonical non-decreasing-middle constraint applies within runs.
+	order := make([]int, nf)
+	for i := range order {
+		order[i] = i
+	}
+	groupLess := func(a, b int) bool {
+		if c := demands[a].Cmp(demands[b]); c != 0 {
+			return c > 0
+		}
+		if inIdx[a] != inIdx[b] {
+			return inIdx[a] < inIdx[b]
+		}
+		return outIdx[a] < outIdx[b]
+	}
+	sort.SliceStable(order, func(a, b int) bool { return groupLess(order[a], order[b]) })
+
+	// sameGroup[k] reports that order[k] is fabric-interchangeable with
+	// order[k-1]; its middle must then be ≥ the predecessor's.
+	sameGroup := make([]bool, nf)
+	for k := 1; k < nf; k++ {
+		a, b := order[k-1], order[k]
+		sameGroup[k] = inIdx[a] == inIdx[b] && outIdx[a] == outIdx[b] &&
+			demands[a].Cmp(demands[b]) == 0
+	}
+
+	// remIn[i-1][m-1] is the remaining capacity of I_i -> M_m; remOut
+	// likewise for M_m -> O_i.
+	remIn := capacityGrid(tors, n)
+	remOut := capacityGrid(tors, n)
+
+	ma := make(core.MiddleAssignment, nf)
+	nodes := 0
+	stopped := false
+
+	var place func(k int) error
+	place = func(k int) error {
+		if stopped {
+			return nil
+		}
+		if k == nf {
+			if !visit(ma) {
+				stopped = true
+			}
+			return nil
+		}
+		fi := order[k]
+		d := demands[fi]
+		in := remIn[inIdx[fi]-1]
+		out := remOut[outIdx[fi]-1]
+		mLo := 0
+		if sameGroup[k] {
+			mLo = ma[order[k-1]] - 1
+		}
+		for m := mLo; m < n; m++ {
+			if in[m].Cmp(d) < 0 || out[m].Cmp(d) < 0 {
+				continue
+			}
+			nodes++
+			if nodes > maxNodes {
+				return ErrSearchBudget
+			}
+			in[m].Sub(in[m], d)
+			out[m].Sub(out[m], d)
+			ma[fi] = m + 1
+			err := place(k + 1)
+			in[m].Add(in[m], d)
+			out[m].Add(out[m], d)
+			if err != nil {
+				return err
+			}
+			if stopped {
+				return nil
+			}
+		}
+		return nil
+	}
+	return place(0)
+}
+
+func addTo(m map[topology.NodeID]*big.Rat, key topology.NodeID, v *big.Rat) {
+	if cur, ok := m[key]; ok {
+		cur.Add(cur, v)
+		return
+	}
+	m[key] = rational.Copy(v)
+}
+
+func capacityGrid(rows, cols int) [][]*big.Rat {
+	g := make([][]*big.Rat, rows)
+	for i := range g {
+		g[i] = make([]*big.Rat, cols)
+		for j := range g[i] {
+			g[i][j] = rational.One()
+		}
+	}
+	return g
+}

@@ -1,0 +1,264 @@
+// Package search explores the routing space R of a Clos network: the set
+// of all middle-switch assignments of a flow collection. It provides
+// exact optimizers for the two routing objectives of §2.3 — lex-max-min
+// fairness (Definition 2.4) and throughput-max-min fairness
+// (Definition 2.5) — by exhaustive enumeration on small instances, plus
+// hill-climbing and local-optimality certificates for instances whose
+// routing space is too large to enumerate.
+//
+// Finding a lex-max-min fair allocation is NP-complete in general
+// (Kleinberg–Tardos–Rabani [22]), so the exact optimizers guard against
+// state-space explosion with a configurable cap.
+package search
+
+import (
+	"errors"
+	"fmt"
+
+	"closnet/internal/core"
+	"closnet/internal/matching"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// ErrTooManyStates is returned when an exhaustive search would exceed the
+// configured state cap.
+var ErrTooManyStates = errors.New("search: routing space exceeds state cap")
+
+// DefaultMaxStates bounds exhaustive enumeration: n^|F| assignments.
+const DefaultMaxStates = 1 << 21
+
+// Options tunes the exhaustive optimizers.
+type Options struct {
+	// MaxStates caps the number of enumerated assignments
+	// (0 = DefaultMaxStates).
+	MaxStates int
+	// FixFirst pins flow 0 to middle switch 1, an n-fold symmetry
+	// reduction that is sound for both objectives because the topology
+	// and both objectives are invariant under permuting middle switches.
+	FixFirst bool
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates <= 0 {
+		return DefaultMaxStates
+	}
+	return o.MaxStates
+}
+
+// Result is an optimizer outcome: the best assignment found, its max-min
+// fair allocation, and the number of assignments examined.
+type Result struct {
+	Assignment core.MiddleAssignment
+	Allocation core.Allocation
+	States     int
+}
+
+// stateCount returns n^flows, or -1 on overflow past cap.
+func stateCount(n, flows, cap int) int {
+	count := 1
+	for i := 0; i < flows; i++ {
+		count *= n
+		if count > cap || count <= 0 {
+			return -1
+		}
+	}
+	return count
+}
+
+// enumerate calls visit for every middle assignment of numFlows flows in
+// C_n (optionally with flow 0 pinned to middle 1). The assignment passed
+// to visit is reused across calls; visit must copy it to retain it.
+func enumerate(n, numFlows int, opts Options, visit func(core.MiddleAssignment)) error {
+	free := numFlows
+	if opts.FixFirst && numFlows > 0 {
+		free--
+	}
+	if stateCount(n, free, opts.maxStates()) < 0 {
+		return fmt.Errorf("%w: %d^%d > %d", ErrTooManyStates, n, free, opts.maxStates())
+	}
+	ma := core.UniformAssignment(numFlows, 1)
+	visit(ma)
+	start := 0
+	if opts.FixFirst {
+		start = 1
+	}
+	for {
+		// Increment the base-n counter over positions [start, numFlows).
+		pos := start
+		for pos < numFlows {
+			if ma[pos] < n {
+				ma[pos]++
+				break
+			}
+			ma[pos] = 1
+			pos++
+		}
+		if pos == numFlows {
+			return nil
+		}
+		visit(ma)
+	}
+}
+
+// LexMaxMin finds a lex-max-min fair allocation (Definition 2.4) by
+// exhaustive enumeration: the max-min fair allocation whose sorted vector
+// is lexicographically maximum over all routings.
+func LexMaxMin(c *topology.Clos, fs core.Collection, opts Options) (*Result, error) {
+	return optimize(c, fs, opts, func(best, cand core.Allocation) bool {
+		return rational.LexCompareSorted(cand, best) > 0
+	}, nil)
+}
+
+// ThroughputMaxMin finds a throughput-max-min fair allocation
+// (Definition 2.5) by exhaustive enumeration: the max-min fair allocation
+// whose throughput is maximum over all routings. The enumeration stops
+// early once the throughput reaches the maximum matching size of G^MS,
+// which upper-bounds T^T-MmF via T^T-MmF ≤ T^T-MT = T^MT (Lemma 5.2 and
+// Lemma 3.2).
+func ThroughputMaxMin(c *topology.Clos, fs core.Collection, opts Options) (*Result, error) {
+	ub, err := maxMatchingSize(fs)
+	if err != nil {
+		return nil, err
+	}
+	ubRat := rational.Int(int64(ub))
+	return optimize(c, fs, opts, func(best, cand core.Allocation) bool {
+		return core.Throughput(cand).Cmp(core.Throughput(best)) > 0
+	}, func(best core.Allocation) bool {
+		return core.Throughput(best).Cmp(ubRat) >= 0
+	})
+}
+
+// maxMatchingSize computes |F'| of G^MS for the collection, the
+// throughput ceiling of Lemma 3.2.
+func maxMatchingSize(fs core.Collection) (int, error) {
+	srcIdx := make(map[topology.NodeID]int)
+	dstIdx := make(map[topology.NodeID]int)
+	g := matching.Graph{}
+	for _, f := range fs {
+		if _, ok := srcIdx[f.Src]; !ok {
+			srcIdx[f.Src] = len(srcIdx)
+		}
+		if _, ok := dstIdx[f.Dst]; !ok {
+			dstIdx[f.Dst] = len(dstIdx)
+		}
+		g.Edges = append(g.Edges, matching.Edge{Left: srcIdx[f.Src], Right: dstIdx[f.Dst]})
+	}
+	g.NumLeft, g.NumRight = len(srcIdx), len(dstIdx)
+	m, err := matching.MaxMatching(g)
+	if err != nil {
+		return 0, err
+	}
+	return len(m), nil
+}
+
+func optimize(c *topology.Clos, fs core.Collection, opts Options, better func(best, cand core.Allocation) bool, stopWhen func(best core.Allocation) bool) (*Result, error) {
+	if len(fs) == 0 {
+		return &Result{Assignment: core.MiddleAssignment{}, Allocation: core.Allocation{}, States: 1}, nil
+	}
+	var (
+		res     Result
+		innerEr error
+		stopped bool
+	)
+	err := enumerate(c.Size(), len(fs), opts, func(ma core.MiddleAssignment) {
+		if innerEr != nil || stopped {
+			return
+		}
+		a, err := core.ClosMaxMinFair(c, fs, ma)
+		if err != nil {
+			innerEr = err
+			return
+		}
+		res.States++
+		if res.Allocation == nil || better(res.Allocation, a) {
+			res.Allocation = a
+			res.Assignment = ma.Copy()
+			if stopWhen != nil && stopWhen(res.Allocation) {
+				stopped = true
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if innerEr != nil {
+		return nil, innerEr
+	}
+	return &res, nil
+}
+
+// Neighbor is a single-flow deviation that improves the current routing.
+type Neighbor struct {
+	Flow       int
+	Middle     int
+	Allocation core.Allocation
+}
+
+// ImprovingNeighbor scans all single-flow reroutes of ma and returns a
+// lexicographically improving one, or nil if ma is locally lex-optimal.
+// This mirrors the deviation analysis of the paper's Step 2 arguments
+// (Lemma 4.6): a posited lex-max-min witness must at minimum admit no
+// improving single-flow deviation.
+func ImprovingNeighbor(c *topology.Clos, fs core.Collection, ma core.MiddleAssignment) (*Neighbor, error) {
+	base, err := core.ClosMaxMinFair(c, fs, ma)
+	if err != nil {
+		return nil, err
+	}
+	cand := ma.Copy()
+	for fi := range fs {
+		orig := cand[fi]
+		for m := 1; m <= c.Size(); m++ {
+			if m == orig {
+				continue
+			}
+			cand[fi] = m
+			a, err := core.ClosMaxMinFair(c, fs, cand)
+			if err != nil {
+				return nil, err
+			}
+			if rational.LexCompareSorted(a, base) > 0 {
+				return &Neighbor{Flow: fi, Middle: m, Allocation: a}, nil
+			}
+		}
+		cand[fi] = orig
+	}
+	return nil, nil
+}
+
+// IsLocalLexOptimal reports whether no single-flow reroute of ma improves
+// the sorted max-min fair vector lexicographically.
+func IsLocalLexOptimal(c *topology.Clos, fs core.Collection, ma core.MiddleAssignment) (bool, error) {
+	nb, err := ImprovingNeighbor(c, fs, ma)
+	if err != nil {
+		return false, err
+	}
+	return nb == nil, nil
+}
+
+// HillClimbLex repeatedly applies improving single-flow deviations until
+// none exists, returning the locally lex-optimal routing reached and the
+// number of moves taken. maxMoves guards against long walks (0 means
+// 1000).
+func HillClimbLex(c *topology.Clos, fs core.Collection, start core.MiddleAssignment, maxMoves int) (*Result, int, error) {
+	if maxMoves <= 0 {
+		maxMoves = 1000
+	}
+	ma := start.Copy()
+	moves := 0
+	for ; moves < maxMoves; moves++ {
+		nb, err := ImprovingNeighbor(c, fs, ma)
+		if err != nil {
+			return nil, moves, err
+		}
+		if nb == nil {
+			a, err := core.ClosMaxMinFair(c, fs, ma)
+			if err != nil {
+				return nil, moves, err
+			}
+			return &Result{Assignment: ma, Allocation: a, States: moves}, moves, nil
+		}
+		ma[nb.Flow] = nb.Middle
+	}
+	return nil, moves, fmt.Errorf("search: hill climb exceeded %d moves", maxMoves)
+}

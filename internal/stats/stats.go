@@ -1,0 +1,88 @@
+// Package stats provides the small set of descriptive statistics used by
+// the simulation experiments: summaries (mean, min, percentiles) and
+// empirical CDF evaluation over fixed thresholds. Percentiles use the
+// nearest-rank-above convention, matching the reporting style of the
+// networking evaluations the paper cites.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count int
+	Mean  float64
+	Min   float64
+	Max   float64
+	P10   float64
+	P50   float64
+	P90   float64
+	P99   float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P10:   Percentile(sorted, 0.10),
+		P50:   Percentile(sorted, 0.50),
+		P90:   Percentile(sorted, 0.90),
+		P99:   Percentile(sorted, 0.99),
+	}
+}
+
+// Percentile returns the p-quantile (p ∈ [0, 1]) of a sorted sample by
+// the nearest-rank-above rule. It panics on an empty sample or an
+// unsorted-looking input only through incorrect results; callers sort
+// first (Summarize does).
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p * float64(len(sorted)-1)))
+	return sorted[idx]
+}
+
+// FractionAtMost returns, for each threshold, the fraction of the sample
+// that is ≤ the threshold: the empirical CDF evaluated at the
+// thresholds.
+func FractionAtMost(xs []float64, thresholds []float64) []float64 {
+	out := make([]float64, len(thresholds))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, th := range thresholds {
+		// First index with value > th.
+		hi := sort.SearchFloat64s(sorted, math.Nextafter(th, math.Inf(1)))
+		out[i] = float64(hi) / float64(len(sorted))
+	}
+	return out
+}
+
+// FormatFraction renders a CDF fraction as a fixed-width percentage.
+func FormatFraction(f float64) string {
+	return fmt.Sprintf("%5.1f%%", 100*f)
+}

@@ -1,0 +1,320 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"closnet/internal/rational"
+)
+
+func TestNetworkBasics(t *testing.T) {
+	n := New("test")
+	a := n.AddNode(KindOther, "a")
+	b := n.AddNode(KindOther, "b")
+	id, err := n.AddLink(a, b, rational.One())
+	if err != nil {
+		t.Fatalf("AddLink: %v", err)
+	}
+	if n.NumNodes() != 2 || n.NumLinks() != 1 {
+		t.Fatalf("counts: %d nodes %d links", n.NumNodes(), n.NumLinks())
+	}
+	l := n.Link(id)
+	if l.From != a || l.To != b || l.Unbounded {
+		t.Errorf("unexpected link %+v", l)
+	}
+	got, ok := n.LinkBetween(a, b)
+	if !ok || got != id {
+		t.Errorf("LinkBetween = %v, %v", got, ok)
+	}
+	if _, ok := n.LinkBetween(b, a); ok {
+		t.Error("LinkBetween found a reverse link")
+	}
+	if name := n.LinkName(id); name != "a->b" {
+		t.Errorf("LinkName = %q", name)
+	}
+}
+
+func TestAddLinkErrors(t *testing.T) {
+	n := New("test")
+	a := n.AddNode(KindOther, "a")
+	b := n.AddNode(KindOther, "b")
+	if _, err := n.AddLink(a, NodeID(99), rational.One()); err == nil {
+		t.Error("expected error for out-of-range endpoint")
+	}
+	if _, err := n.AddLink(a, b, rational.One()); err != nil {
+		t.Fatalf("AddLink: %v", err)
+	}
+	if _, err := n.AddLink(a, b, rational.One()); err == nil {
+		t.Error("expected error for duplicate link")
+	}
+}
+
+func TestAddLinkCopiesCapacity(t *testing.T) {
+	n := New("test")
+	a := n.AddNode(KindOther, "a")
+	b := n.AddNode(KindOther, "b")
+	c := rational.One()
+	id, err := n.AddLink(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(c, rational.One())
+	if n.Link(id).Capacity.Cmp(rational.One()) != 0 {
+		t.Error("capacity aliased the caller's value")
+	}
+}
+
+func TestClosStructure(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		c := MustClos(n)
+		net := c.Network()
+		wantNodes := n + 4*n + 4*n*n // middles + ToRs + servers
+		if got := net.NumNodes(); got != wantNodes {
+			t.Errorf("C_%d: %d nodes, want %d", n, got, wantNodes)
+		}
+		// Links: 2*2n*n server links + 2*2n*n fabric links.
+		wantLinks := 8 * n * n
+		if got := net.NumLinks(); got != wantLinks {
+			t.Errorf("C_%d: %d links, want %d", n, got, wantLinks)
+		}
+		if got := len(c.FabricLinks()); got != 4*n*n {
+			t.Errorf("C_%d: %d fabric links, want %d", n, got, 4*n*n)
+		}
+		if got := len(c.ServerLinks()); got != 4*n*n {
+			t.Errorf("C_%d: %d server links, want %d", n, got, 4*n*n)
+		}
+		// All links have unit capacity.
+		for _, l := range net.Links() {
+			if l.Unbounded || l.Capacity.Cmp(rational.One()) != 0 {
+				t.Fatalf("C_%d: link %s is not unit capacity", n, net.LinkName(l.ID))
+			}
+		}
+	}
+}
+
+func TestClosNames(t *testing.T) {
+	c := MustClos(2)
+	net := c.Network()
+	tests := []struct {
+		id   NodeID
+		want string
+	}{
+		{c.Input(1), "I1"},
+		{c.Output(4), "O4"},
+		{c.Middle(2), "M2"},
+		{c.Source(1, 2), "s1.2"},
+		{c.Dest(3, 1), "t3.1"},
+	}
+	for _, tt := range tests {
+		if got := net.Node(tt.id).Name; got != tt.want {
+			t.Errorf("node %d name = %q, want %q", tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestClosInputOfOutputOf(t *testing.T) {
+	c := MustClos(3)
+	for i := 1; i <= 6; i++ {
+		for j := 1; j <= 3; j++ {
+			if got, ok := c.InputOf(c.Source(i, j)); !ok || got != i {
+				t.Errorf("InputOf(s%d.%d) = %d, %v", i, j, got, ok)
+			}
+			if got, ok := c.OutputOf(c.Dest(i, j)); !ok || got != i {
+				t.Errorf("OutputOf(t%d.%d) = %d, %v", i, j, got, ok)
+			}
+		}
+	}
+	if _, ok := c.InputOf(c.Middle(1)); ok {
+		t.Error("InputOf accepted a middle switch")
+	}
+	if _, ok := c.OutputOf(c.Source(1, 1)); ok {
+		t.Error("OutputOf accepted a source")
+	}
+}
+
+func TestClosPath(t *testing.T) {
+	c := MustClos(2)
+	net := c.Network()
+	src, dst := c.Source(1, 2), c.Dest(4, 1)
+	for m := 1; m <= 2; m++ {
+		p, err := c.Path(src, dst, m)
+		if err != nil {
+			t.Fatalf("Path via M%d: %v", m, err)
+		}
+		if len(p) != 4 {
+			t.Fatalf("Path via M%d has %d hops, want 4", m, len(p))
+		}
+		if err := p.Validate(net, src, dst); err != nil {
+			t.Errorf("Path via M%d invalid: %v", m, err)
+		}
+		// The path must traverse M_m.
+		if net.Link(p[1]).To != c.Middle(m) {
+			t.Errorf("Path via M%d does not traverse M%d", m, m)
+		}
+	}
+	// Distinct middles give link-disjoint fabric segments.
+	p1, _ := c.Path(src, dst, 1)
+	p2, _ := c.Path(src, dst, 2)
+	if p1[1] == p2[1] || p1[2] == p2[2] {
+		t.Error("paths via distinct middles share fabric links")
+	}
+}
+
+func TestClosPathErrors(t *testing.T) {
+	c := MustClos(2)
+	if _, err := c.Path(c.Middle(1), c.Dest(1, 1), 1); err == nil {
+		t.Error("expected error for non-source origin")
+	}
+	if _, err := c.Path(c.Source(1, 1), c.Input(1), 1); err == nil {
+		t.Error("expected error for non-destination target")
+	}
+	if _, err := c.Path(c.Source(1, 1), c.Dest(1, 1), 3); err == nil {
+		t.Error("expected error for out-of-range middle")
+	}
+}
+
+func TestNewClosRejectsBadSize(t *testing.T) {
+	if _, err := NewClos(0); err == nil {
+		t.Error("NewClos(0) should fail")
+	}
+	if _, err := NewMacroSwitch(-1); err == nil {
+		t.Error("NewMacroSwitch(-1) should fail")
+	}
+}
+
+func TestMacroSwitchStructure(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		ms := MustMacroSwitch(n)
+		net := ms.Network()
+		wantNodes := 4*n + 4*n*n
+		if got := net.NumNodes(); got != wantNodes {
+			t.Errorf("MS_%d: %d nodes, want %d", n, got, wantNodes)
+		}
+		// 2*2n*n server links + (2n)^2 core links.
+		wantLinks := 4*n*n + 4*n*n
+		if got := net.NumLinks(); got != wantLinks {
+			t.Errorf("MS_%d: %d links, want %d", n, got, wantLinks)
+		}
+		unbounded := 0
+		for _, l := range net.Links() {
+			if l.Unbounded {
+				unbounded++
+			} else if l.Capacity.Cmp(rational.One()) != 0 {
+				t.Fatalf("MS_%d: finite link %s not unit capacity", n, net.LinkName(l.ID))
+			}
+		}
+		if unbounded != 4*n*n {
+			t.Errorf("MS_%d: %d unbounded links, want %d", n, unbounded, 4*n*n)
+		}
+	}
+}
+
+func TestMacroSwitchPath(t *testing.T) {
+	ms := MustMacroSwitch(2)
+	net := ms.Network()
+	src, dst := ms.Source(2, 1), ms.Dest(3, 2)
+	p, err := ms.Path(src, dst)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if len(p) != 3 {
+		t.Fatalf("Path has %d hops, want 3", len(p))
+	}
+	if err := p.Validate(net, src, dst); err != nil {
+		t.Errorf("Path invalid: %v", err)
+	}
+	// Middle hop must be unbounded; server hops must be unit.
+	if !net.Link(p[1]).Unbounded {
+		t.Error("core hop should be unbounded")
+	}
+	if net.Link(p[0]).Unbounded || net.Link(p[2]).Unbounded {
+		t.Error("server hops should be bounded")
+	}
+	if _, err := ms.Path(ms.Input(1), dst); err == nil {
+		t.Error("expected error for non-source origin")
+	}
+}
+
+func TestPathValidate(t *testing.T) {
+	c := MustClos(1)
+	net := c.Network()
+	src, dst := c.Source(1, 1), c.Dest(2, 1)
+	p, _ := c.Path(src, dst, 1)
+
+	if err := p.Validate(net, src, dst); err != nil {
+		t.Errorf("valid path rejected: %v", err)
+	}
+	if err := p.Validate(net, c.Source(2, 1), dst); err == nil {
+		t.Error("wrong source accepted")
+	}
+	if err := p.Validate(net, src, c.Dest(1, 1)); err == nil {
+		t.Error("wrong destination accepted")
+	}
+	if err := (Path{}).Validate(net, src, dst); err == nil {
+		t.Error("empty path between distinct nodes accepted")
+	}
+	if err := (Path{}).Validate(net, src, src); err != nil {
+		t.Errorf("empty self path rejected: %v", err)
+	}
+	if err := (Path{LinkID(9999)}).Validate(net, src, dst); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	// Non-contiguous path.
+	bad := Path{p[0], p[0]}
+	if err := bad.Validate(net, src, dst); err == nil {
+		t.Error("non-contiguous path accepted")
+	}
+}
+
+func TestPathContains(t *testing.T) {
+	p := Path{1, 5, 9}
+	if !p.Contains(5) || p.Contains(2) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestNodesOfKind(t *testing.T) {
+	c := MustClos(2)
+	if got := len(c.Network().NodesOfKind(KindMiddleSwitch)); got != 2 {
+		t.Errorf("middles = %d, want 2", got)
+	}
+	if got := len(c.Network().NodesOfKind(KindSource)); got != 8 {
+		t.Errorf("sources = %d, want 8", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []NodeKind{KindSource, KindInputSwitch, KindMiddleSwitch, KindOutputSwitch, KindDestination, KindOther}
+	for _, k := range kinds {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "NodeKind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if s := NodeKind(42).String(); !strings.HasPrefix(s, "NodeKind(") {
+		t.Errorf("unknown kind formatted as %q", s)
+	}
+}
+
+func TestNetworkString(t *testing.T) {
+	c := MustClos(1)
+	if got := c.Network().String(); !strings.Contains(got, "C_1") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOutLinksIsCopy(t *testing.T) {
+	n := New("test")
+	a := n.AddNode(KindOther, "a")
+	b := n.AddNode(KindOther, "b")
+	if _, err := n.AddLink(a, b, rational.One()); err != nil {
+		t.Fatal(err)
+	}
+	out := n.OutLinks(a)
+	if len(out) != 1 {
+		t.Fatalf("OutLinks = %v", out)
+	}
+	out[0] = LinkID(999)
+	if n.OutLinks(a)[0] == LinkID(999) {
+		t.Error("OutLinks exposed internal state")
+	}
+}
