@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench verify experiments cover fuzz clean
+.PHONY: all build test vet race bench verify experiments cover fuzz clean
 
 all: build vet test
 
@@ -14,6 +14,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The parallel routing-space search under the race detector.
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

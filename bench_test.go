@@ -201,6 +201,58 @@ func BenchmarkLexSearchFixFirst(b *testing.B) {
 	}
 }
 
+// --- Serial vs parallel routing-space search -------------------------------
+
+// enumInstance builds a contended collection of the given size on C_n:
+// flows alternate between a cyclic permutation and loopback pairs so the
+// water filling has several freeze rounds per assignment.
+func enumInstance(b *testing.B, n, flows int) (*topology.Clos, core.Collection) {
+	b.Helper()
+	c := topology.MustClos(n)
+	fs := core.Collection{}
+	for f := 0; f < flows; f++ {
+		i := f%n + 1
+		if f%2 == 0 {
+			fs = fs.Add(c.Source(i, 1), c.Dest(i%n+1, 1), 1)
+		} else {
+			fs = fs.Add(c.Source(i, 1), c.Dest(i, 1), 1)
+		}
+	}
+	return c, fs
+}
+
+func benchLexWorkers(b *testing.B, n, flows, workers int) {
+	c, fs := enumInstance(b, n, flows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.LexMaxMin(c, fs, search.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLexSearchC3Serial(b *testing.B) { benchLexWorkers(b, 3, 7, 1) }
+
+func BenchmarkLexSearchC3Workers4(b *testing.B) { benchLexWorkers(b, 3, 7, 4) }
+
+func BenchmarkLexSearchC4Serial(b *testing.B) { benchLexWorkers(b, 4, 5, 1) }
+
+func BenchmarkLexSearchC4Workers4(b *testing.B) { benchLexWorkers(b, 4, 5, 4) }
+
+func benchThroughputWorkers(b *testing.B, n, flows, workers int) {
+	c, fs := enumInstance(b, n, flows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.ThroughputMaxMin(c, fs, search.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThroughputSearchC3Serial(b *testing.B) { benchThroughputWorkers(b, 3, 7, 1) }
+
+func BenchmarkThroughputSearchC3Workers4(b *testing.B) { benchThroughputWorkers(b, 3, 7, 4) }
+
 // --- Component benchmarks --------------------------------------------------
 
 func BenchmarkDoomSwitch(b *testing.B) {
@@ -239,7 +291,7 @@ func BenchmarkFeasibilityRefuterT42(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, ok, err := FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0)
+		_, ok, err := FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

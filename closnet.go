@@ -196,9 +196,10 @@ func RelativeMaxMin(c *Clos, fs Collection, target Vec, opts SearchOptions) (*Re
 // MinMiddlesToRoute probes the multirate-rearrangeability question of §6:
 // the smallest middle-switch count for which the demands become routable
 // on the same ToR/server shape. It returns (m, true) on success within
-// maxMiddles, (0, false) otherwise.
-func MinMiddlesToRoute(c *Clos, fs Collection, demands Vec, maxMiddles, maxNodes int) (int, bool, error) {
-	return search.MinMiddlesToRoute(c, fs, demands, maxMiddles, maxNodes)
+// maxMiddles, (0, false) otherwise. workers follows the
+// SearchOptions.Workers policy (0 = one worker per core, 1 = serial).
+func MinMiddlesToRoute(c *Clos, fs Collection, demands Vec, maxMiddles, maxNodes, workers int) (int, bool, error) {
+	return search.MinMiddlesToRoute(c, fs, demands, maxMiddles, maxNodes, workers)
 }
 
 // FairSharingFCT simulates max-min fair sharing among all flows at once
@@ -219,9 +220,12 @@ func AverageFCT(times Vec) *big.Rat { return schedule.AverageFCT(times) }
 
 // FeasibleRouting decides (exactly) whether flows offered with fixed
 // demands admit a routing satisfying all link capacities (§4.1), and
-// returns a witness when one exists. maxNodes caps the search (0 = default).
-func FeasibleRouting(c *Clos, fs Collection, demands Vec, maxNodes int) (MiddleAssignment, bool, error) {
-	return search.FeasibleRouting(c, fs, demands, maxNodes)
+// returns a witness when one exists. maxNodes caps the search
+// (0 = default); workers follows the SearchOptions.Workers policy
+// (0 = one worker per core, 1 = serial) and the answer is identical for
+// every worker count.
+func FeasibleRouting(c *Clos, fs Collection, demands Vec, maxNodes, workers int) (MiddleAssignment, bool, error) {
+	return search.FeasibleRouting(c, fs, demands, maxNodes, workers)
 }
 
 // DoomSwitch runs the Doom-Switch algorithm (Algorithm 1): a maximum

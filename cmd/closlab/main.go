@@ -6,9 +6,15 @@
 //	closlab -exp T1            run one experiment
 //	closlab -all               run every experiment
 //	closlab -exp S1 -csv       emit CSV (or -json) instead of aligned text
+//	closlab -exp A1 -workers 1 force the serial routing-space search
 //
 // Experiment IDs follow DESIGN.md's per-experiment index: F1, F2, T1,
 // F3, T2, F4, T3, S1, S1b, S2, P1, E1, R1, M1, D1, O1, A1.
+//
+// -workers sets the enumeration worker count for every exhaustive
+// routing-space search an experiment launches (0 = one worker per core,
+// 1 = serial). The tables are bit-identical for every setting; only
+// wall-clock time changes.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 
 	"closnet"
+	"closnet/internal/experiments"
 )
 
 func main() {
@@ -29,15 +36,17 @@ func main() {
 func run(args []string) error {
 	fl := flag.NewFlagSet("closlab", flag.ContinueOnError)
 	var (
-		list = fl.Bool("list", false, "list available experiments")
-		exp  = fl.String("exp", "", "experiment ID to run (e.g. F1, T3)")
-		all  = fl.Bool("all", false, "run every experiment")
-		csv  = fl.Bool("csv", false, "emit CSV instead of aligned text")
-		js   = fl.Bool("json", false, "emit JSON instead of aligned text")
+		list    = fl.Bool("list", false, "list available experiments")
+		exp     = fl.String("exp", "", "experiment ID to run (e.g. F1, T3)")
+		all     = fl.Bool("all", false, "run every experiment")
+		csv     = fl.Bool("csv", false, "emit CSV instead of aligned text")
+		js      = fl.Bool("json", false, "emit JSON instead of aligned text")
+		workers = fl.Int("workers", 0, "routing-space search workers (0 = all cores, 1 = serial)")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
+	experiments.SearchWorkers = *workers
 
 	runners := closnet.Experiments()
 	switch {

@@ -7,6 +7,7 @@
 //
 //	closverify               verify with default ranges
 //	closverify -max-n 9 -max-k 32 -v
+//	closverify -workers 1    force the serial feasibility search
 package main
 
 import (
@@ -32,6 +33,7 @@ func run(args []string, out io.Writer) error {
 		maxN    = fl.Int("max-n", 7, "largest network size to verify")
 		maxK    = fl.Int("max-k", 16, "largest multiplicity to verify")
 		verbose = fl.Bool("v", false, "print each check")
+		workers = fl.Int("workers", 0, "feasibility search workers (0 = all cores, 1 = serial)")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -55,7 +57,7 @@ func run(args []string, out io.Writer) error {
 	if err := verifyTheorem34(*maxN, *maxK, report); err != nil {
 		return err
 	}
-	if err := verifyTheorem42(min(*maxN, 5), report); err != nil {
+	if err := verifyTheorem42(min(*maxN, 5), *workers, report); err != nil {
 		return err
 	}
 	if err := verifyTheorem43(*maxN, report); err != nil {
@@ -70,7 +72,7 @@ func run(args []string, out io.Writer) error {
 	if err := verifyScheduling(*maxK, report); err != nil {
 		return err
 	}
-	if err := verifyRearrangeability(report); err != nil {
+	if err := verifyRearrangeability(*workers, report); err != nil {
 		return err
 	}
 	if err := verifyClaim45(2**maxN, report); err != nil {
@@ -108,13 +110,13 @@ func verifyTheorem34(maxN, maxK int, report func(string, bool, string) error) er
 }
 
 // verifyTheorem42: the macro rates are unroutable.
-func verifyTheorem42(maxN int, report func(string, bool, string) error) error {
+func verifyTheorem42(maxN, workers int, report func(string, bool, string) error) error {
 	for n := 3; n <= maxN; n++ {
 		in, err := closnet.Theorem42(n)
 		if err != nil {
 			return err
 		}
-		_, ok, err := closnet.FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0)
+		_, ok, err := closnet.FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0, workers)
 		if err != nil {
 			return err
 		}
@@ -255,12 +257,12 @@ func verifyScheduling(maxK int, report func(string, bool, string) error) error {
 
 // verifyRearrangeability: the Theorem 4.2 (n=3) demands are unroutable
 // at 3 middles but routable at 4, inside the 2n-1 conjecture bound.
-func verifyRearrangeability(report func(string, bool, string) error) error {
+func verifyRearrangeability(workers int, report func(string, bool, string) error) error {
 	in, err := closnet.Theorem42(3)
 	if err != nil {
 		return err
 	}
-	m, ok, err := closnet.MinMiddlesToRoute(in.Clos, in.Flows, in.MacroRates, 5, 0)
+	m, ok, err := closnet.MinMiddlesToRoute(in.Clos, in.Flows, in.MacroRates, 5, 0, workers)
 	if err != nil {
 		return err
 	}

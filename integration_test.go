@@ -182,7 +182,7 @@ func TestPipelineRelativeFairnessAndMinMiddles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, ok, err := MinMiddlesToRoute(t42.Clos, t42.Flows, t42.MacroRates, 6, 0)
+	m, ok, err := MinMiddlesToRoute(t42.Clos, t42.Flows, t42.MacroRates, 6, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

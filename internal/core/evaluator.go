@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// Evaluator amortizes ClosMaxMinFair across many middle assignments of
+// one fixed (Clos, Collection) pair: every candidate path (one per flow
+// and middle switch) is materialized and validated once at construction,
+// and the water-filling scratch state — remaining capacities, active
+// counts, flows-on-link lists, frozen flags — is reused between calls
+// instead of being reallocated per assignment. The routing-space search
+// gives each worker goroutine a private Evaluator.
+//
+// An Evaluator is NOT safe for concurrent use. Eval returns exactly the
+// allocation ClosMaxMinFair would return: both run the same exact
+// progressive-filling algorithm over the same link order, so the results
+// are bit-identical rationals.
+type Evaluator struct {
+	nf    int
+	n     int
+	links []topology.Link
+	// paths[fi][m-1] is flow fi's path via middle switch m.
+	paths [][]topology.Path
+
+	// Scratch reused across Eval calls, indexed by LinkID (link IDs are
+	// dense: 0..len(links)-1) or by flow index.
+	remaining []*big.Rat
+	active    []int
+	finite    []bool
+	frozen    []bool
+	on        [][]int
+
+	// finiteIDs lists the finite link IDs in ascending order — the same
+	// order the dense id scan visits them — so the filling rounds skip
+	// unbounded links without testing each one. caps[id] is the finite
+	// link's capacity; actRat, cand, delta, tmp and level are reusable
+	// big.Rat receivers for the round arithmetic.
+	finiteIDs []topology.LinkID
+	caps      []*big.Rat
+	actRat    *big.Rat
+	delta     *big.Rat
+	tmp       *big.Rat
+	level     *big.Rat
+	// Integer scratch for the cross-multiplied min-delta comparisons.
+	xInt, yInt, aInt, bInt *big.Int
+}
+
+// NewEvaluator prepares repeated max-min fair evaluations of fs over c.
+// It fails if any flow endpoint is not a server of c.
+func NewEvaluator(c *topology.Clos, fs Collection) (*Evaluator, error) {
+	e := &Evaluator{nf: len(fs), n: c.Size(), links: c.Network().Links()}
+	e.paths = make([][]topology.Path, len(fs))
+	for fi, f := range fs {
+		e.paths[fi] = make([]topology.Path, e.n)
+		for m := 1; m <= e.n; m++ {
+			p, err := c.Path(f.Src, f.Dst, m)
+			if err != nil {
+				return nil, fmt.Errorf("evaluator: flow %d: %w", fi, err)
+			}
+			e.paths[fi][m-1] = p
+		}
+	}
+	nl := len(e.links)
+	e.remaining = make([]*big.Rat, nl)
+	e.active = make([]int, nl)
+	e.finite = make([]bool, nl)
+	e.on = make([][]int, nl)
+	e.caps = make([]*big.Rat, nl)
+	for _, l := range e.links {
+		if l.Unbounded {
+			continue
+		}
+		e.finite[l.ID] = true
+		e.remaining[l.ID] = new(big.Rat)
+		e.caps[l.ID] = l.Capacity
+		e.finiteIDs = append(e.finiteIDs, l.ID)
+	}
+	sort.Slice(e.finiteIDs, func(a, b int) bool { return e.finiteIDs[a] < e.finiteIDs[b] })
+	e.frozen = make([]bool, len(fs))
+	e.actRat = new(big.Rat)
+	e.delta = new(big.Rat)
+	e.tmp = new(big.Rat)
+	e.level = new(big.Rat)
+	e.xInt, e.yInt = new(big.Int), new(big.Int)
+	e.aInt, e.bInt = new(big.Int), new(big.Int)
+	return e, nil
+}
+
+// Eval computes the max-min fair allocation of the collection under the
+// middle assignment ma, identical to ClosMaxMinFair(c, fs, ma). The
+// returned Allocation is freshly allocated and safe to retain; ma is
+// only read.
+func (e *Evaluator) Eval(ma MiddleAssignment) (Allocation, error) {
+	if len(ma) != e.nf {
+		return nil, fmt.Errorf("evaluator: assignment has %d middles for %d flows", len(ma), e.nf)
+	}
+	// Reset scratch and register each flow on its path's links.
+	for id := range e.on {
+		e.on[id] = e.on[id][:0]
+		e.active[id] = 0
+	}
+	for _, id := range e.finiteIDs {
+		e.remaining[id].Set(e.caps[id])
+	}
+	for fi := range e.frozen {
+		e.frozen[fi] = false
+	}
+	for fi, m := range ma {
+		if m < 1 || m > e.n {
+			return nil, fmt.Errorf("evaluator: flow %d: middle %d out of range [1, %d]", fi, m, e.n)
+		}
+		for _, l := range e.paths[fi][m-1] {
+			e.on[l] = append(e.on[l], fi)
+			if e.finite[l] {
+				e.active[l]++
+			}
+		}
+	}
+
+	// Exact progressive filling, mirroring MaxMinFair step for step (same
+	// link iteration order, same exact arithmetic) so the allocations are
+	// identical. Every big.Rat operation here writes into a reusable
+	// receiver: big.Rat arithmetic is exact and always normalized, so the
+	// values are independent of receiver reuse.
+	// Each flow's rate is written exactly once, when the flow freezes, so
+	// the vector starts with nil slots instead of NewVec's discarded rats.
+	rates := make(rational.Vec, e.nf)
+	if e.nf == 0 {
+		return rates, nil
+	}
+	level := e.level.SetInt64(0)
+	remainingFlows := e.nf
+	for remainingFlows > 0 {
+		// Min-delta scan by cross multiplication: with r = p/q remaining
+		// and a active flows, d = p/(q·a), and d1 < d2 iff
+		// p1·q2·a2 < p2·q1·a1 (all quantities non-negative, a > 0). This
+		// finds the bottleneck with exact integer products, deferring the
+		// normalizing division to once per round. Ties keep the earlier
+		// link, matching the strict-< scan of MaxMinFair.
+		minID := topology.LinkID(-1)
+		for _, id := range e.finiteIDs {
+			if e.active[id] == 0 {
+				continue
+			}
+			if minID < 0 {
+				minID = id
+				continue
+			}
+			e.aInt.SetInt64(int64(e.active[minID]))
+			e.bInt.SetInt64(int64(e.active[id]))
+			e.xInt.Mul(e.remaining[id].Num(), e.remaining[minID].Denom())
+			e.xInt.Mul(e.xInt, e.aInt)
+			e.yInt.Mul(e.remaining[minID].Num(), e.remaining[id].Denom())
+			e.yInt.Mul(e.yInt, e.bInt)
+			if e.xInt.Cmp(e.yInt) < 0 {
+				minID = id
+			}
+		}
+		if minID < 0 {
+			return nil, ErrUnboundedFlow
+		}
+		e.actRat.SetInt64(int64(e.active[minID]))
+		e.delta.Quo(e.remaining[minID], e.actRat)
+
+		level.Add(level, e.delta)
+		for _, id := range e.finiteIDs {
+			if e.active[id] == 0 {
+				continue
+			}
+			e.actRat.SetInt64(int64(e.active[id]))
+			e.tmp.Mul(e.delta, e.actRat)
+			e.remaining[id].Sub(e.remaining[id], e.tmp)
+		}
+
+		progressed := false
+		for _, id := range e.finiteIDs {
+			if e.active[id] == 0 || e.remaining[id].Sign() != 0 {
+				continue
+			}
+			for _, fi := range e.on[id] {
+				if e.frozen[fi] {
+					continue
+				}
+				e.frozen[fi] = true
+				rates[fi] = rational.Copy(level)
+				remainingFlows--
+				progressed = true
+				for _, l := range e.paths[fi][ma[fi]-1] {
+					if e.finite[l] {
+						e.active[l]--
+					}
+				}
+			}
+		}
+		if !progressed {
+			return nil, errors.New("waterfill: no progress (internal invariant violated)")
+		}
+	}
+	return rates, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"closnet/internal/topology"
+)
+
+// evaluatorCollection builds a mixed collection on C_n with contended
+// sources and destinations, the shape that stresses the water filling.
+func evaluatorCollection(c *topology.Clos) Collection {
+	n := c.Size()
+	fs := Collection{}
+	for i := 1; i <= n; i++ {
+		fs = fs.Add(c.Source(i, 1), c.Dest(i%n+1, 1), 1)
+		fs = fs.Add(c.Source(i, 1), c.Dest(i, 1), 1)
+	}
+	return fs
+}
+
+// TestEvaluatorMatchesClosMaxMinFair: Eval must return exactly the
+// allocation ClosMaxMinFair returns — same rationals, not merely equal
+// floats — over every assignment of a small instance.
+func TestEvaluatorMatchesClosMaxMinFair(t *testing.T) {
+	c := topology.MustClos(2)
+	fs := evaluatorCollection(c) // 4 flows: 2^4 = 16 assignments
+	ev, err := NewEvaluator(c, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma := UniformAssignment(len(fs), 1)
+	for rank := 0; rank < 16; rank++ {
+		r := rank
+		for fi := range ma {
+			ma[fi] = 1 + r%2
+			r /= 2
+		}
+		want, err := ClosMaxMinFair(c, fs, ma)
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		got, err := ev.Eval(ma)
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("rank %d (%v): Eval = %v, ClosMaxMinFair = %v", rank, ma, got, want)
+		}
+	}
+}
+
+// TestEvaluatorMatchesRandom cross-checks scratch reuse on a larger
+// instance with pseudo-random assignments: a stale buffer from a prior
+// call would surface as a mismatch.
+func TestEvaluatorMatchesRandom(t *testing.T) {
+	c := topology.MustClos(4)
+	fs := evaluatorCollection(c)
+	ev, err := NewEvaluator(c, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	ma := make(MiddleAssignment, len(fs))
+	for trial := 0; trial < 200; trial++ {
+		for fi := range ma {
+			ma[fi] = 1 + rng.Intn(c.Size())
+		}
+		want, err := ClosMaxMinFair(c, fs, ma)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := ev.Eval(ma)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("trial %d (%v): Eval = %v, ClosMaxMinFair = %v", trial, ma, got, want)
+		}
+	}
+}
+
+func TestEvaluatorErrors(t *testing.T) {
+	c := topology.MustClos(2)
+	fs := evaluatorCollection(c)
+	ev, err := NewEvaluator(c, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Eval(MiddleAssignment{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := UniformAssignment(len(fs), 1)
+	bad[0] = 3
+	if _, err := ev.Eval(bad); err == nil {
+		t.Error("out-of-range middle accepted")
+	}
+	if _, err := NewEvaluator(c, Collection{{Src: c.Input(1), Dst: c.Dest(1, 1)}}); err == nil {
+		t.Error("non-server source accepted")
+	}
+}

@@ -46,7 +46,7 @@ func RunA1(sizes []int, flowsPer int, trials int, seed int64) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			opt, err := search.ThroughputMaxMin(c, pair.Clos, search.Options{})
+			opt, err := search.ThroughputMaxMin(c, pair.Clos, searchOpts())
 			if err != nil {
 				return nil, err
 			}

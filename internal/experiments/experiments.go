@@ -10,6 +10,18 @@ import (
 	"closnet/internal/search"
 )
 
+// SearchWorkers is the worker count handed to every routing-space search
+// the experiments launch (0 = one worker per core, 1 = serial; see
+// search.Options.Workers). cmd/closlab sets it from its -workers flag.
+// Results are bit-identical for every setting; only wall-clock changes.
+var SearchWorkers int
+
+// searchOpts returns the default exhaustive-search options with the
+// package-level worker count applied.
+func searchOpts() search.Options {
+	return search.Options{Workers: SearchWorkers}
+}
+
 // RunF1 regenerates Figure 1 / Example 2.3: the max-min fair allocations
 // of the six-flow collection in MS_2 and in C_2 under the paper's two
 // routings, plus the exhaustively computed lex-max-min fair allocation.
@@ -54,7 +66,7 @@ func RunF1() (*Table, error) {
 	}
 	addAlloc("C_2 routing B ((s1.2,t2.1) via M2)", aB)
 
-	opt, err := search.LexMaxMin(in.Clos, in.Flows, search.Options{})
+	opt, err := search.LexMaxMin(in.Clos, in.Flows, searchOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -155,12 +167,12 @@ func RunF3(ns []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, full, err := search.FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0)
+		_, full, err := search.FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0, SearchWorkers)
 		if err != nil {
 			return nil, err
 		}
 		t3 := in.FlowsOfType(adversary.Type3)[0]
-		_, partial, err := search.FeasibleRouting(in.Clos, in.Flows[:t3], in.MacroRates[:t3], 0)
+		_, partial, err := search.FeasibleRouting(in.Clos, in.Flows[:t3], in.MacroRates[:t3], 0, SearchWorkers)
 		if err != nil {
 			return nil, err
 		}

@@ -67,11 +67,11 @@ func RunR1() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lexOpt, err := search.LexMaxMin(ex.Clos, ex.Flows, search.Options{})
+	lexOpt, err := search.LexMaxMin(ex.Clos, ex.Flows, searchOpts())
 	if err != nil {
 		return nil, err
 	}
-	relOpt, err := search.RelativeMaxMin(ex.Clos, ex.Flows, ex.MacroRates, search.Options{})
+	relOpt, err := search.RelativeMaxMin(ex.Clos, ex.Flows, ex.MacroRates, searchOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +139,7 @@ func RunM1(ns []int, trials int, seed int64) (*Table, error) {
 			return nil, err
 		}
 		bound := 2*in.Clos.ServersPerToR() - 1
-		m, ok, err := search.MinMiddlesToRoute(in.Clos, in.Flows, in.MacroRates, bound, 0)
+		m, ok, err := search.MinMiddlesToRoute(in.Clos, in.Flows, in.MacroRates, bound, 0, SearchWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +171,7 @@ func RunM1(ns []int, trials int, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, ok, err := search.MinMiddlesToRoute(c, pair.Clos, demands, 2*n-1, 0)
+		m, ok, err := search.MinMiddlesToRoute(c, pair.Clos, demands, 2*n-1, 0, SearchWorkers)
 		if err != nil {
 			return nil, err
 		}

@@ -316,6 +316,19 @@ func TestVecEqualMismatches(t *testing.T) {
 	}
 }
 
+func TestVecMinElemEmptyPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MinElem of empty Vec did not panic")
+		}
+		if msg, ok := r.(string); !ok || msg != "rational: MinElem of empty Vec" {
+			t.Errorf("panic = %v, want explicit MinElem message", r)
+		}
+	}()
+	Vec{}.MinElem()
+}
+
 func TestVecMinElemLaterMinimum(t *testing.T) {
 	v := VecOf(1, 1, 1, 3, 1, 2)
 	if got := v.MinElem(); got.Cmp(R(1, 3)) != 0 {

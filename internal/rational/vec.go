@@ -50,9 +50,14 @@ func (v Vec) Sum() *big.Rat {
 	return s
 }
 
-// MinElem returns a copy of the smallest element. It panics on an empty
-// vector.
+// MinElem returns a copy of the smallest element. An empty vector has no
+// minimum, so MinElem panics with an explicit message; callers that may
+// hold an empty vector (e.g. an allocation of an empty flow collection)
+// must check len(v) first.
 func (v Vec) MinElem() *big.Rat {
+	if len(v) == 0 {
+		panic("rational: MinElem of empty Vec")
+	}
 	m := v[0]
 	for _, x := range v[1:] {
 		if x.Cmp(m) < 0 {

@@ -1,0 +1,275 @@
+// Parallel enumeration engine for the routing space R.
+//
+// The base-n counter over middle assignments is identified with an
+// integer rank (position `start` is the least-significant digit, so rank
+// order is exactly the serial enumeration order of `enumerate`). Each
+// worker owns one contiguous sub-range of ranks, decoded from the rank
+// itself — no shared counter exists — and evaluates max-min fair
+// allocations with a private core.Evaluator whose scratch buffers are
+// reused across states. Shard-local incumbents are merged with a
+// deterministic reduction: shards are visited in ascending rank order and
+// an incumbent is replaced only on strict improvement, so the merged
+// winner is the earliest-rank optimum — bit-identical to the serial
+// result regardless of worker count.
+//
+// Early exit (the Lemma 3.2/5.2 throughput upper bound) and inner errors
+// propagate through a cancellation signal: a worker whose incumbent
+// provably attains the global optimum at rank r publishes stop rank r+1,
+// and every worker aborts as soon as its next rank is at or beyond the
+// lowest published stop rank. Ranks below the stop rank are always fully
+// evaluated, which keeps the early-exit result (and Result.States, which
+// counts exactly the deterministic prefix [0, stop)) identical to the
+// serial schedule; the few speculative evaluations a worker may perform
+// beyond the stop rank before the signal reaches it are discarded and
+// uncounted.
+package search
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"closnet/internal/core"
+	"closnet/internal/topology"
+)
+
+// space is the ranked routing space of numFlows flows in C_n, with
+// positions [0, start) pinned to middle 1 by the FixFirst symmetry
+// reduction.
+type space struct {
+	n, numFlows, start int
+	total              int
+}
+
+func newSpace(n, numFlows int, opts Options) (space, error) {
+	free := numFlows
+	start := 0
+	if opts.FixFirst && numFlows > 0 {
+		free--
+		start = 1
+	}
+	total := stateCount(n, free, opts.maxStates())
+	if total < 0 {
+		return space{}, tooManyStatesError(n, free, opts.maxStates())
+	}
+	return space{n: n, numFlows: numFlows, start: start, total: total}, nil
+}
+
+// decode writes the assignment with the given rank into ma: digit d of
+// the rank (base n, least significant first) becomes ma[start+d] - 1.
+// Rank 0 is the all-ones assignment.
+func (s space) decode(rank int, ma core.MiddleAssignment) {
+	for pos := 0; pos < s.start; pos++ {
+		ma[pos] = 1
+	}
+	for pos := s.start; pos < s.numFlows; pos++ {
+		ma[pos] = 1 + rank%s.n
+		rank /= s.n
+	}
+}
+
+// next advances ma to the successor rank in place (the base-n counter
+// step). Advancing the last rank wraps back to rank 0; callers bound
+// their loops by rank, so the wrap is never observed.
+func (s space) next(ma core.MiddleAssignment) {
+	for pos := s.start; pos < s.numFlows; pos++ {
+		if ma[pos] < s.n {
+			ma[pos]++
+			return
+		}
+		ma[pos] = 1
+	}
+}
+
+// objective is the strict-improvement order driving an exhaustive
+// optimizer. Implementations are stateful so they can cache values
+// derived from the current incumbent — the sorted allocation vector for
+// lex-max-min, the total throughput for throughput-max-min, the minimum
+// target ratio for relative-max-min — computing them once per
+// improvement instead of once per candidate. Each worker owns a private
+// instance produced by the factory handed to the engine.
+type objective interface {
+	// improves reports whether cand strictly improves on the incumbent.
+	// When no incumbent has been installed yet it must report true.
+	improves(cand core.Allocation) bool
+	// install makes cand the incumbent. The engine calls it immediately
+	// after improves(cand) reported true, with the same cand, so
+	// implementations may stash candidate-derived state in improves and
+	// promote it here.
+	install(cand core.Allocation)
+	// optimal reports whether the incumbent provably attains the global
+	// optimum (e.g. the Lemma 3.2 matching bound), allowing the
+	// enumeration to stop early.
+	optimal() bool
+}
+
+// workerCount resolves the Options.Workers policy: 0 means one worker
+// per available core, 1 the serial path, k ≥ 2 exactly k workers.
+func (o Options) workerCount() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// runEngine exhaustively optimizes the objective over the routing space
+// of fs in c. The result is bit-identical for every worker count.
+func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective func() objective) (*Result, error) {
+	if len(fs) == 0 {
+		return &Result{Assignment: core.MiddleAssignment{}, Allocation: core.Allocation{}, States: 1}, nil
+	}
+	s, err := newSpace(c.Size(), len(fs), opts)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.workerCount()
+	if workers > s.total {
+		workers = s.total
+	}
+	if workers <= 1 {
+		return runSerial(c, fs, opts, newObjective)
+	}
+	return runParallel(c, fs, s, workers, newObjective)
+}
+
+// runSerial is the exact legacy serial path: the in-place base-n counter
+// walk of enumerate evaluating core.ClosMaxMinFair per state. The
+// parallel equivalence tests cross-check the Evaluator-based workers
+// against this independent implementation.
+func runSerial(c *topology.Clos, fs core.Collection, opts Options, newObjective func() objective) (*Result, error) {
+	obj := newObjective()
+	var (
+		res      Result
+		innerErr error
+	)
+	err := enumerate(c.Size(), len(fs), opts, func(ma core.MiddleAssignment) bool {
+		a, err := core.ClosMaxMinFair(c, fs, ma)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		res.States++
+		if obj.improves(a) {
+			obj.install(a)
+			res.Allocation = a
+			res.Assignment = ma.Copy()
+			if obj.optimal() {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	return &res, nil
+}
+
+// shardIncumbent is one worker's best state: the earliest rank in its
+// shard attaining the shard-local optimum. rank < 0 means the shard was
+// abandoned before producing an incumbent.
+type shardIncumbent struct {
+	rank  int
+	ma    core.MiddleAssignment
+	alloc core.Allocation
+}
+
+func runParallel(c *topology.Clos, fs core.Collection, s space, workers int, newObjective func() objective) (*Result, error) {
+	var (
+		stopRank atomic.Int64 // exclusive bound: ranks ≥ stopRank are unneeded
+		aborted  atomic.Bool  // an inner error cancels every worker
+		errMu    sync.Mutex
+		firstErr error
+	)
+	stopRank.Store(int64(s.total))
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		aborted.Store(true)
+	}
+	lowerStop := func(v int64) {
+		for {
+			cur := stopRank.Load()
+			if v >= cur || stopRank.CompareAndSwap(cur, v) {
+				return
+			}
+		}
+	}
+
+	incumbents := make([]shardIncumbent, workers)
+	var wg sync.WaitGroup
+	chunk, rem := s.total/workers, s.total%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			ev, err := core.NewEvaluator(c, fs)
+			if err != nil {
+				fail(err)
+				return
+			}
+			obj := newObjective()
+			local := &incumbents[w]
+			local.rank = -1
+			ma := make(core.MiddleAssignment, s.numFlows)
+			s.decode(lo, ma)
+			for rank := lo; rank < hi; rank++ {
+				if aborted.Load() || int64(rank) >= stopRank.Load() {
+					return
+				}
+				a, err := ev.Eval(ma)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if obj.improves(a) {
+					obj.install(a)
+					local.rank = rank
+					local.ma = ma.Copy()
+					local.alloc = a
+					if obj.optimal() {
+						// Every later rank is unneeded; earlier shards keep
+						// running so the lowest optimal rank wins.
+						lowerStop(int64(rank) + 1)
+						return
+					}
+				}
+				s.next(ma)
+			}
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Deterministic reduction: shards in ascending rank order, replace
+	// only on strict improvement. Equal-valued later incumbents (possible
+	// speculative finds beyond the stop rank) lose to the earliest one.
+	merged := newObjective()
+	res := &Result{States: int(stopRank.Load())}
+	for w := range incumbents {
+		inc := &incumbents[w]
+		if inc.rank < 0 {
+			continue
+		}
+		if merged.improves(inc.alloc) {
+			merged.install(inc.alloc)
+			res.Assignment = inc.ma
+			res.Allocation = inc.alloc
+		}
+	}
+	return res, nil
+}

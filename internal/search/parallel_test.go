@@ -1,0 +1,310 @@
+package search
+
+import (
+	"testing"
+
+	"closnet/internal/adversary"
+	"closnet/internal/core"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// parallelWorkerCounts are the explicit worker counts the equivalence
+// tests compare against the serial path. They exercise the sharded
+// engine even on a single-core machine: goroutine interleaving (and the
+// race detector's happens-before checking) does not require parallelism.
+var parallelWorkerCounts = []int{2, 4, 8}
+
+// equivalenceInstances are adversarial families small enough for
+// exhaustive search: Example 2.3 (64 states), the Theorem 3.4 gadget
+// (16 states), the Theorem 5.4 doom gadget (81 states) and a 6-flow
+// prefix of the Theorem 4.3 starvation instance (729 states).
+func equivalenceInstances(t *testing.T) map[string]struct {
+	c  *topology.Clos
+	fs core.Collection
+} {
+	t.Helper()
+	out := make(map[string]struct {
+		c  *topology.Clos
+		fs core.Collection
+	})
+	add := func(name string, c *topology.Clos, fs core.Collection) {
+		out[name] = struct {
+			c  *topology.Clos
+			fs core.Collection
+		}{c, fs}
+	}
+	ex, err := adversary.Example23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("example-2.3", ex.Clos, ex.Flows)
+	t34, err := adversary.Theorem34(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("theorem-3.4(2,2)", t34.Clos, t34.Flows)
+	t54, err := adversary.Theorem54(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("theorem-5.4(3,2)", t54.Clos, t54.Flows)
+	t43, err := adversary.Theorem43(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("theorem-4.3(3)-prefix", t43.Clos, t43.Flows[:6])
+	return out
+}
+
+func sameAssignment(a, b core.MiddleAssignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkSameResult(t *testing.T, name string, workers int, serial, par *Result) {
+	t.Helper()
+	if !sameAssignment(serial.Assignment, par.Assignment) {
+		t.Errorf("%s workers=%d: assignment %v != serial %v",
+			name, workers, par.Assignment, serial.Assignment)
+	}
+	if !serial.Allocation.Equal(par.Allocation) {
+		t.Errorf("%s workers=%d: allocation %v != serial %v",
+			name, workers, par.Allocation, serial.Allocation)
+	}
+	if serial.States != par.States {
+		t.Errorf("%s workers=%d: states %d != serial %d",
+			name, workers, par.States, serial.States)
+	}
+}
+
+// TestLexMaxMinParallelEquivalence: the parallel engine returns the
+// bit-identical assignment, allocation and state count as the serial
+// path, for every worker count and with and without FixFirst.
+func TestLexMaxMinParallelEquivalence(t *testing.T) {
+	for name, in := range equivalenceInstances(t) {
+		for _, fixFirst := range []bool{false, true} {
+			serial, err := LexMaxMin(in.c, in.fs, Options{Workers: 1, FixFirst: fixFirst})
+			if err != nil {
+				t.Fatalf("%s serial: %v", name, err)
+			}
+			for _, w := range parallelWorkerCounts {
+				par, err := LexMaxMin(in.c, in.fs, Options{Workers: w, FixFirst: fixFirst})
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", name, w, err)
+				}
+				checkSameResult(t, name, w, serial, par)
+			}
+		}
+	}
+}
+
+// TestThroughputMaxMinParallelEquivalence covers the objective with an
+// early-exit condition (the Lemma 3.2 matching bound): the deterministic
+// stop-rank protocol must keep the result and States identical to serial
+// even when workers abandon their shards.
+func TestThroughputMaxMinParallelEquivalence(t *testing.T) {
+	for name, in := range equivalenceInstances(t) {
+		serial, err := ThroughputMaxMin(in.c, in.fs, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, w := range parallelWorkerCounts {
+			par, err := ThroughputMaxMin(in.c, in.fs, Options{Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			checkSameResult(t, name, w, serial, par)
+		}
+	}
+}
+
+func TestRelativeMaxMinParallelEquivalence(t *testing.T) {
+	ex, err := adversary.Example23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RelativeMaxMin(ex.Clos, ex.Flows, ex.MacroRates, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parallelWorkerCounts {
+		par, err := RelativeMaxMin(ex.Clos, ex.Flows, ex.MacroRates, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !sameAssignment(serial.Assignment, par.Assignment) {
+			t.Errorf("workers=%d: assignment %v != serial %v", w, par.Assignment, serial.Assignment)
+		}
+		if !serial.Allocation.Equal(par.Allocation) {
+			t.Errorf("workers=%d: allocation differs from serial", w)
+		}
+		if serial.MinRatio.Cmp(par.MinRatio) != 0 {
+			t.Errorf("workers=%d: min ratio %v != serial %v", w, par.MinRatio, serial.MinRatio)
+		}
+		if serial.States != par.States {
+			t.Errorf("workers=%d: states %d != serial %d", w, par.States, serial.States)
+		}
+	}
+}
+
+// TestThroughputEarlyExitStates: on the permutation workload the
+// matching bound is reached before the space is exhausted, so States
+// must be strictly below the full state count — and identical across
+// worker counts, since States counts the deterministic prefix up to the
+// stop rank rather than the raw number of evaluations performed.
+func TestThroughputEarlyExitStates(t *testing.T) {
+	c := topology.MustClos(2)
+	fs := core.Collection{}
+	for i := 1; i <= 2; i++ {
+		for j := 1; j <= 2; j++ {
+			fs = fs.Add(c.Source(i, j), c.Dest(i+2, j), 1)
+		}
+	}
+	total := 16 // 2^4
+	serial, err := ThroughputMaxMin(c, fs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.States >= total {
+		t.Fatalf("serial early exit did not trigger: %d states of %d", serial.States, total)
+	}
+	for _, w := range parallelWorkerCounts {
+		par, err := ThroughputMaxMin(c, fs, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if par.States >= total {
+			t.Errorf("workers=%d: early exit did not trigger: %d states of %d", w, par.States, total)
+		}
+		checkSameResult(t, "permutation", w, serial, par)
+	}
+}
+
+// TestFeasibleRoutingParallelEquivalence: the parallel branch split
+// returns the same verdict — and, for feasible instances, the identical
+// depth-first-earliest witness — as the serial backtracker.
+func TestFeasibleRoutingParallelEquivalence(t *testing.T) {
+	type query struct {
+		name    string
+		c       *topology.Clos
+		fs      core.Collection
+		demands rational.Vec
+	}
+	var queries []query
+	ex, err := adversary.Example23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries = append(queries, query{"example-2.3 witness rates", ex.Clos, ex.Flows, ex.WitnessRates})
+	for _, n := range []int{3, 4} {
+		in, err := adversary.Theorem42(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, query{in.Name + " macro rates", in.Clos, in.Flows, in.MacroRates})
+		t3 := in.FlowsOfType(adversary.Type3)[0]
+		queries = append(queries, query{in.Name + " sans type-3", in.Clos, in.Flows[:t3], in.MacroRates[:t3]})
+	}
+	for _, q := range queries {
+		sw, sok, err := FeasibleRouting(q.c, q.fs, q.demands, 0, 1)
+		if err != nil {
+			t.Fatalf("%s serial: %v", q.name, err)
+		}
+		for _, w := range parallelWorkerCounts {
+			pw, pok, err := FeasibleRouting(q.c, q.fs, q.demands, 0, w)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", q.name, w, err)
+			}
+			if sok != pok {
+				t.Errorf("%s workers=%d: feasible=%v, serial says %v", q.name, w, pok, sok)
+				continue
+			}
+			if sok && !sameAssignment(sw, pw) {
+				t.Errorf("%s workers=%d: witness %v != serial %v", q.name, w, pw, sw)
+			}
+		}
+	}
+}
+
+// TestEnumerateAborts: a visitor returning false must stop the walk
+// immediately (the serial early-exit bugfix) — no further states are
+// visited.
+func TestEnumerateAborts(t *testing.T) {
+	for _, stopAfter := range []int{1, 3, 7} {
+		visited := 0
+		err := enumerate(3, 4, Options{}, func(core.MiddleAssignment) bool {
+			visited++
+			return visited < stopAfter
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if visited != stopAfter {
+			t.Errorf("stopAfter=%d: visited %d states", stopAfter, visited)
+		}
+	}
+}
+
+// TestSpaceDecodeMatchesEnumerate: decoding rank r yields exactly the
+// r-th assignment of the serial enumeration order, the invariant the
+// shard split depends on.
+func TestSpaceDecodeMatchesEnumerate(t *testing.T) {
+	for _, fixFirst := range []bool{false, true} {
+		opts := Options{FixFirst: fixFirst}
+		s, err := newSpace(3, 4, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []core.MiddleAssignment
+		if err := enumerate(3, 4, opts, func(ma core.MiddleAssignment) bool {
+			order = append(order, ma.Copy())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != s.total {
+			t.Fatalf("fixFirst=%v: %d states enumerated, space says %d", fixFirst, len(order), s.total)
+		}
+		decoded := make(core.MiddleAssignment, 4)
+		for rank := range order {
+			s.decode(rank, decoded)
+			if !sameAssignment(decoded, order[rank]) {
+				t.Fatalf("fixFirst=%v rank %d: decode %v, enumerate %v", fixFirst, rank, decoded, order[rank])
+			}
+		}
+		// next must agree with decode(rank+1).
+		s.decode(0, decoded)
+		for rank := 1; rank < s.total; rank++ {
+			s.next(decoded)
+			if !sameAssignment(decoded, order[rank]) {
+				t.Fatalf("fixFirst=%v rank %d: next %v, enumerate %v", fixFirst, rank, decoded, order[rank])
+			}
+		}
+	}
+}
+
+// TestWorkersExceedingStates: more workers than states must degrade
+// gracefully (shards of size ≤ 1) and still match serial.
+func TestWorkersExceedingStates(t *testing.T) {
+	c := topology.MustClos(2)
+	fs := core.Collection{}.
+		Add(c.Source(1, 1), c.Dest(2, 1), 1).
+		Add(c.Source(2, 1), c.Dest(1, 1), 1)
+	serial, err := LexMaxMin(c, fs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := LexMaxMin(c, fs, Options{Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameResult(t, "tiny", 64, serial, par)
+}

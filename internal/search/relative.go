@@ -38,12 +38,34 @@ func minRatio(a core.Allocation, target rational.Vec) *big.Rat {
 	return worst
 }
 
+// ratioObjective orders allocations by their minimum network/target
+// ratio, caching the incumbent's ratio so it is recomputed only on
+// improvement.
+type ratioObjective struct {
+	target rational.Vec
+	best   *big.Rat
+	cand   *big.Rat
+}
+
+func (o *ratioObjective) improves(a core.Allocation) bool {
+	r := minRatio(a, o.target)
+	if o.best != nil && r.Cmp(o.best) <= 0 {
+		return false
+	}
+	o.cand = r
+	return true
+}
+
+func (o *ratioObjective) install(core.Allocation) { o.best = o.cand }
+
+func (o *ratioObjective) optimal() bool { return false }
+
 // RelativeMaxMin maximizes, over all routings, the minimum per-flow
 // ratio between the max-min fair rate in the Clos network and a target
 // rate (typically the flow's macro-switch rate) — the relative-max-min
 // fairness objective proposed in the paper's conclusions (§7, R2) as an
 // alternative to lex-max-min fairness. Exhaustive; subject to the same
-// state cap as the other optimizers.
+// state cap and worker sharding as the other optimizers.
 func RelativeMaxMin(c *topology.Clos, fs core.Collection, target rational.Vec, opts Options) (*RelativeResult, error) {
 	if len(target) != len(fs) {
 		return nil, fmt.Errorf("search: %d targets for %d flows", len(target), len(fs))
@@ -56,34 +78,16 @@ func RelativeMaxMin(c *topology.Clos, fs core.Collection, target rational.Vec, o
 			States:     1,
 		}, nil
 	}
-	var (
-		res     RelativeResult
-		innerEr error
-	)
-	err := enumerate(c.Size(), len(fs), opts, func(ma core.MiddleAssignment) {
-		if innerEr != nil {
-			return
-		}
-		a, err := core.ClosMaxMinFair(c, fs, ma)
-		if err != nil {
-			innerEr = err
-			return
-		}
-		res.States++
-		ratio := minRatio(a, target)
-		if res.MinRatio == nil || ratio.Cmp(res.MinRatio) > 0 {
-			res.MinRatio = ratio
-			res.Allocation = a
-			res.Assignment = ma.Copy()
-		}
-	})
+	res, err := runEngine(c, fs, opts, func() objective { return &ratioObjective{target: target} })
 	if err != nil {
 		return nil, err
 	}
-	if innerEr != nil {
-		return nil, innerEr
-	}
-	return &res, nil
+	return &RelativeResult{
+		Assignment: res.Assignment,
+		Allocation: res.Allocation,
+		MinRatio:   minRatio(res.Allocation, target),
+		States:     res.States,
+	}, nil
 }
 
 // HillClimbRelative improves a starting routing by single-flow reroutes
@@ -139,11 +143,12 @@ func HillClimbRelative(c *topology.Clos, fs core.Collection, target rational.Vec
 // that the flows, offered with the given fixed demands, admit a feasible
 // routing of the Clos network with the same ToR/server shape as c but m
 // middle switches. It returns (m, true) on success within maxMiddles, or
-// (0, false) if even maxMiddles middle switches do not suffice.
+// (0, false) if even maxMiddles middle switches do not suffice. workers
+// follows the Options.Workers policy (0 = all cores, 1 = serial).
 //
 // The classic conjecture (Chung–Ross [11]) places the worst case for
 // arbitrary feasible macro-switch allocations at m = 2·serversPerToR − 1.
-func MinMiddlesToRoute(c *topology.Clos, fs core.Collection, demands rational.Vec, maxMiddles, maxNodes int) (int, bool, error) {
+func MinMiddlesToRoute(c *topology.Clos, fs core.Collection, demands rational.Vec, maxMiddles, maxNodes, workers int) (int, bool, error) {
 	if len(demands) != len(fs) {
 		return 0, false, fmt.Errorf("search: %d demands for %d flows", len(demands), len(fs))
 	}
@@ -159,7 +164,7 @@ func MinMiddlesToRoute(c *topology.Clos, fs core.Collection, demands rational.Ve
 		if err != nil {
 			return 0, false, err
 		}
-		_, ok, err := FeasibleRouting(cm, mapped, demands, maxNodes)
+		_, ok, err := FeasibleRouting(cm, mapped, demands, maxNodes, workers)
 		if err != nil {
 			return 0, false, fmt.Errorf("search: m=%d: %w", m, err)
 		}

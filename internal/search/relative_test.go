@@ -157,7 +157,7 @@ func TestMinMiddlesToRouteTheorem42(t *testing.T) {
 	// With n = 3 middles the macro rates are unroutable (Theorem 4.2);
 	// the probe must find some m > 3 within the conjectured bound
 	// 2·serversPerToR − 1 = 5.
-	m, ok, err := MinMiddlesToRoute(in.Clos, in.Flows, in.MacroRates, 5, 0)
+	m, ok, err := MinMiddlesToRoute(in.Clos, in.Flows, in.MacroRates, 5, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestMinMiddlesToRouteTheorem42(t *testing.T) {
 func TestMinMiddlesToRouteTrivial(t *testing.T) {
 	c := topology.MustClos(2)
 	fs := core.NewCollection(c.Source(1, 1), c.Dest(2, 1))
-	m, ok, err := MinMiddlesToRoute(c, fs, rational.VecOf(1, 1), 4, 0)
+	m, ok, err := MinMiddlesToRoute(c, fs, rational.VecOf(1, 1), 4, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestMinMiddlesToRouteInsufficient(t *testing.T) {
 		c.Source(1, 1), c.Dest(2, 1),
 		c.Source(1, 2), c.Dest(3, 1),
 	)
-	m, ok, err := MinMiddlesToRoute(c, fs, rational.VecOf(1, 1, 1, 1), 1, 0)
+	m, ok, err := MinMiddlesToRoute(c, fs, rational.VecOf(1, 1, 1, 1), 1, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,10 +202,10 @@ func TestMinMiddlesToRouteInsufficient(t *testing.T) {
 func TestMinMiddlesToRouteErrors(t *testing.T) {
 	c := topology.MustClos(2)
 	fs := core.NewCollection(c.Source(1, 1), c.Dest(2, 1))
-	if _, _, err := MinMiddlesToRoute(c, fs, rational.Vec{}, 2, 0); err == nil {
+	if _, _, err := MinMiddlesToRoute(c, fs, rational.Vec{}, 2, 0, 0); err == nil {
 		t.Error("demand mismatch accepted")
 	}
-	if _, _, err := MinMiddlesToRoute(c, fs, rational.VecOf(1, 1), 0, 0); err == nil {
+	if _, _, err := MinMiddlesToRoute(c, fs, rational.VecOf(1, 1), 0, 0, 0); err == nil {
 		t.Error("maxMiddles=0 accepted")
 	}
 }

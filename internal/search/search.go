@@ -6,6 +6,11 @@
 // hill-climbing and local-optimality certificates for instances whose
 // routing space is too large to enumerate.
 //
+// The exhaustive optimizers enumerate in parallel by default, sharding
+// the ranked assignment space over worker goroutines (see engine.go);
+// the reduction is deterministic, so the result is bit-identical to the
+// serial path for every worker count.
+//
 // Finding a lex-max-min fair allocation is NP-complete in general
 // (Kleinberg–Tardos–Rabani [22]), so the exact optimizers guard against
 // state-space explosion with a configurable cap.
@@ -14,6 +19,8 @@ package search
 import (
 	"errors"
 	"fmt"
+	"math/big"
+	"sort"
 
 	"closnet/internal/core"
 	"closnet/internal/matching"
@@ -37,6 +44,11 @@ type Options struct {
 	// reduction that is sound for both objectives because the topology
 	// and both objectives are invariant under permuting middle switches.
 	FixFirst bool
+	// Workers is the number of enumeration worker goroutines: 0 runs one
+	// worker per available core, 1 forces the exact legacy serial path,
+	// and k ≥ 2 uses exactly k workers. Every setting returns
+	// bit-identical results (see engine.go).
+	Workers int
 }
 
 func (o Options) maxStates() int {
@@ -47,7 +59,10 @@ func (o Options) maxStates() int {
 }
 
 // Result is an optimizer outcome: the best assignment found, its max-min
-// fair allocation, and the number of assignments examined.
+// fair allocation, and the number of assignments examined. Under an
+// early exit, States counts the deterministic enumeration prefix up to
+// and including the stopping state — the same value for every worker
+// count.
 type Result struct {
 	Assignment core.MiddleAssignment
 	Allocation core.Allocation
@@ -66,19 +81,27 @@ func stateCount(n, flows, cap int) int {
 	return count
 }
 
+func tooManyStatesError(n, free, cap int) error {
+	return fmt.Errorf("%w: %d^%d > %d", ErrTooManyStates, n, free, cap)
+}
+
 // enumerate calls visit for every middle assignment of numFlows flows in
-// C_n (optionally with flow 0 pinned to middle 1). The assignment passed
-// to visit is reused across calls; visit must copy it to retain it.
-func enumerate(n, numFlows int, opts Options, visit func(core.MiddleAssignment)) error {
+// C_n (optionally with flow 0 pinned to middle 1), in rank order. The
+// assignment passed to visit is reused across calls; visit must copy it
+// to retain it. Returning false from visit aborts the walk immediately —
+// no further states are generated or visited.
+func enumerate(n, numFlows int, opts Options, visit func(core.MiddleAssignment) bool) error {
 	free := numFlows
 	if opts.FixFirst && numFlows > 0 {
 		free--
 	}
 	if stateCount(n, free, opts.maxStates()) < 0 {
-		return fmt.Errorf("%w: %d^%d > %d", ErrTooManyStates, n, free, opts.maxStates())
+		return tooManyStatesError(n, free, opts.maxStates())
 	}
 	ma := core.UniformAssignment(numFlows, 1)
-	visit(ma)
+	if !visit(ma) {
+		return nil
+	}
 	start := 0
 	if opts.FixFirst {
 		start = 1
@@ -97,36 +120,84 @@ func enumerate(n, numFlows int, opts Options, visit func(core.MiddleAssignment))
 		if pos == numFlows {
 			return nil
 		}
-		visit(ma)
+		if !visit(ma) {
+			return nil
+		}
 	}
 }
+
+// lexObjective orders allocations by their sorted vectors (Definition
+// 2.4). The incumbent's sorted vector is cached, so each improvement
+// sorts once instead of the incumbent being re-sorted against every
+// candidate. Sorting works on a reused pointer buffer aliasing the
+// candidate's elements — candidates are freshly allocated per state and
+// never mutated afterwards, so no rationals are copied per comparison.
+type lexObjective struct {
+	bestSorted rational.Vec
+	candSorted rational.Vec
+}
+
+func (o *lexObjective) improves(cand core.Allocation) bool {
+	s := append(o.candSorted[:0], cand...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Cmp(s[j]) < 0 })
+	o.candSorted = s
+	if o.bestSorted != nil && rational.LexCompare(s, o.bestSorted) <= 0 {
+		return false
+	}
+	return true
+}
+
+func (o *lexObjective) install(core.Allocation) {
+	// Swap buffers: the candidate's sorted view becomes the incumbent's,
+	// and the old incumbent backing is recycled as the next scratch.
+	o.bestSorted, o.candSorted = o.candSorted, o.bestSorted[:0]
+}
+
+func (o *lexObjective) optimal() bool { return false }
 
 // LexMaxMin finds a lex-max-min fair allocation (Definition 2.4) by
 // exhaustive enumeration: the max-min fair allocation whose sorted vector
 // is lexicographically maximum over all routings.
 func LexMaxMin(c *topology.Clos, fs core.Collection, opts Options) (*Result, error) {
-	return optimize(c, fs, opts, func(best, cand core.Allocation) bool {
-		return rational.LexCompareSorted(cand, best) > 0
-	}, nil)
+	return runEngine(c, fs, opts, func() objective { return &lexObjective{} })
 }
+
+// throughputObjective orders allocations by total throughput, caching
+// the incumbent's throughput, and stops the search once the incumbent
+// reaches the Lemma 3.2 matching upper bound.
+type throughputObjective struct {
+	ub   *big.Rat
+	best *big.Rat
+	cand *big.Rat
+}
+
+func (o *throughputObjective) improves(a core.Allocation) bool {
+	t := core.Throughput(a)
+	if o.best != nil && t.Cmp(o.best) <= 0 {
+		return false
+	}
+	o.cand = t
+	return true
+}
+
+func (o *throughputObjective) install(core.Allocation) { o.best = o.cand }
+
+func (o *throughputObjective) optimal() bool { return o.best != nil && o.best.Cmp(o.ub) >= 0 }
 
 // ThroughputMaxMin finds a throughput-max-min fair allocation
 // (Definition 2.5) by exhaustive enumeration: the max-min fair allocation
 // whose throughput is maximum over all routings. The enumeration stops
 // early once the throughput reaches the maximum matching size of G^MS,
 // which upper-bounds T^T-MmF via T^T-MmF ≤ T^T-MT = T^MT (Lemma 5.2 and
-// Lemma 3.2).
+// Lemma 3.2); the abort propagates to every enumeration worker, so the
+// states after the stopping one are never evaluated.
 func ThroughputMaxMin(c *topology.Clos, fs core.Collection, opts Options) (*Result, error) {
 	ub, err := maxMatchingSize(fs)
 	if err != nil {
 		return nil, err
 	}
 	ubRat := rational.Int(int64(ub))
-	return optimize(c, fs, opts, func(best, cand core.Allocation) bool {
-		return core.Throughput(cand).Cmp(core.Throughput(best)) > 0
-	}, func(best core.Allocation) bool {
-		return core.Throughput(best).Cmp(ubRat) >= 0
-	})
+	return runEngine(c, fs, opts, func() objective { return &throughputObjective{ub: ubRat} })
 }
 
 // maxMatchingSize computes |F'| of G^MS for the collection, the
@@ -152,42 +223,6 @@ func maxMatchingSize(fs core.Collection) (int, error) {
 	return len(m), nil
 }
 
-func optimize(c *topology.Clos, fs core.Collection, opts Options, better func(best, cand core.Allocation) bool, stopWhen func(best core.Allocation) bool) (*Result, error) {
-	if len(fs) == 0 {
-		return &Result{Assignment: core.MiddleAssignment{}, Allocation: core.Allocation{}, States: 1}, nil
-	}
-	var (
-		res     Result
-		innerEr error
-		stopped bool
-	)
-	err := enumerate(c.Size(), len(fs), opts, func(ma core.MiddleAssignment) {
-		if innerEr != nil || stopped {
-			return
-		}
-		a, err := core.ClosMaxMinFair(c, fs, ma)
-		if err != nil {
-			innerEr = err
-			return
-		}
-		res.States++
-		if res.Allocation == nil || better(res.Allocation, a) {
-			res.Allocation = a
-			res.Assignment = ma.Copy()
-			if stopWhen != nil && stopWhen(res.Allocation) {
-				stopped = true
-			}
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	if innerEr != nil {
-		return nil, innerEr
-	}
-	return &res, nil
-}
-
 // Neighbor is a single-flow deviation that improves the current routing.
 type Neighbor struct {
 	Flow       int
@@ -205,6 +240,7 @@ func ImprovingNeighbor(c *topology.Clos, fs core.Collection, ma core.MiddleAssig
 	if err != nil {
 		return nil, err
 	}
+	baseSorted := base.SortedCopy()
 	cand := ma.Copy()
 	for fi := range fs {
 		orig := cand[fi]
@@ -217,7 +253,7 @@ func ImprovingNeighbor(c *topology.Clos, fs core.Collection, ma core.MiddleAssig
 			if err != nil {
 				return nil, err
 			}
-			if rational.LexCompareSorted(a, base) > 0 {
+			if rational.LexCompare(a.SortedCopy(), baseSorted) > 0 {
 				return &Neighbor{Flow: fi, Middle: m, Allocation: a}, nil
 			}
 		}

@@ -166,7 +166,7 @@ func TestFeasibleRoutingWitness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ma, ok, err := FeasibleRouting(in.Clos, in.Flows, in.WitnessRates, 0)
+	ma, ok, err := FeasibleRouting(in.Clos, in.Flows, in.WitnessRates, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestFeasibleRoutingTheorem42(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, ok, err := FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0)
+		_, ok, err := FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0, 0)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -215,7 +215,7 @@ func TestFeasibleRoutingDropType3(t *testing.T) {
 	}
 	fs := append(core.Collection{}, in.Flows[:t3[0]]...)
 	demands := append(rational.Vec{}, in.MacroRates[:t3[0]]...)
-	ma, ok, err := FeasibleRouting(in.Clos, fs, demands, 0)
+	ma, ok, err := FeasibleRouting(in.Clos, fs, demands, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestFeasibleRoutingServerOverload(t *testing.T) {
 		Add(c.Source(1, 1), c.Dest(2, 1), 1)
 	// Total demand 3/2 on the shared source link: infeasible regardless
 	// of routing.
-	_, ok, err := FeasibleRouting(c, fs, rational.VecOf(1, 1, 1, 2), 0)
+	_, ok, err := FeasibleRouting(c, fs, rational.VecOf(1, 1, 1, 2), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,14 +313,14 @@ func TestFeasibleRoutingServerOverload(t *testing.T) {
 func TestFeasibleRoutingErrors(t *testing.T) {
 	c := topology.MustClos(2)
 	fs := core.NewCollection(c.Source(1, 1), c.Dest(1, 1))
-	if _, _, err := FeasibleRouting(c, fs, rational.Vec{}, 0); err == nil {
+	if _, _, err := FeasibleRouting(c, fs, rational.Vec{}, 0, 0); err == nil {
 		t.Error("demand length mismatch accepted")
 	}
-	if _, _, err := FeasibleRouting(c, fs, rational.VecOf(-1, 2), 0); err == nil {
+	if _, _, err := FeasibleRouting(c, fs, rational.VecOf(-1, 2), 0, 0); err == nil {
 		t.Error("negative demand accepted")
 	}
 	bad := core.Collection{{Src: c.Input(1), Dst: c.Dest(1, 1)}}
-	if _, _, err := FeasibleRouting(c, bad, rational.VecOf(1, 2), 0); err == nil {
+	if _, _, err := FeasibleRouting(c, bad, rational.VecOf(1, 2), 0, 0); err == nil {
 		t.Error("non-server source accepted")
 	}
 }
