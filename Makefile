@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench verify experiments cover fuzz clean
+.PHONY: all build test vet race bench bench-json verify experiments cover fuzz clean
 
 all: build vet test
 
@@ -21,6 +21,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Persist the search/evaluator perf numbers as a JSON artifact.
+bench-json:
+	$(GO) run ./cmd/closbench -o BENCH_search.json
 
 # Re-measure every theorem bound; non-zero exit on any violation.
 verify:

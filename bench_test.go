@@ -170,7 +170,44 @@ func BenchmarkMatchingGreedy(b *testing.B) {
 	}
 }
 
-// --- Ablation: symmetry reduction in exhaustive lex search ----------------
+// --- Ablation: Rat64 kernel vs big.Rat per-state evaluation ----------------
+
+// evaluatorBench measures one max-min fair evaluation per iteration on a
+// contended C_4 instance, cycling through a fixed set of assignments so
+// the scratch reuse is exercised.
+func evaluatorBench(b *testing.B, forceBig bool) {
+	c, fs := enumInstance(b, 4, 8)
+	ev, err := core.NewEvaluator(c, fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev.ForceBig(forceBig)
+	rng := rand.New(rand.NewSource(3))
+	mas := make([]core.MiddleAssignment, 64)
+	for i := range mas {
+		mas[i] = make(core.MiddleAssignment, len(fs))
+		for fi := range mas[i] {
+			mas[i][fi] = 1 + rng.Intn(c.Size())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Eval(mas[i%len(mas)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluator is the per-state hot path of the routing-space
+// search on the small-word Rat64 kernel.
+func BenchmarkEvaluator(b *testing.B) { evaluatorBench(b, false) }
+
+// BenchmarkEvaluatorBigRat pins the same evaluation to the *big.Rat
+// promotion path, quantifying what the Rat64 kernel saves.
+func BenchmarkEvaluatorBigRat(b *testing.B) { evaluatorBench(b, true) }
+
+// --- Ablation: symmetry canonicalization in exhaustive lex search ---------
 
 func searchInstance(b *testing.B) (*topology.Clos, core.Collection) {
 	b.Helper()
@@ -181,21 +218,25 @@ func searchInstance(b *testing.B) (*topology.Clos, core.Collection) {
 	return in.Clos, in.Flows
 }
 
+// BenchmarkLexSearchFull scans all n^|F| assignments of Example 2.3.
 func BenchmarkLexSearchFull(b *testing.B) {
 	c, fs := searchInstance(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := search.LexMaxMin(c, fs, search.Options{}); err != nil {
+		if _, err := search.LexMaxMin(c, fs, search.Options{FullSpace: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkLexSearchFixFirst(b *testing.B) {
+// BenchmarkLexSearchCanonical is the default symmetry-canonical
+// enumeration (one representative per middle-relabeling orbit) on the
+// same instance — bit-identical result, fewer states.
+func BenchmarkLexSearchCanonical(b *testing.B) {
 	c, fs := searchInstance(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := search.LexMaxMin(c, fs, search.Options{FixFirst: true}); err != nil {
+		if _, err := search.LexMaxMin(c, fs, search.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

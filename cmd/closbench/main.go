@@ -1,0 +1,218 @@
+// Command closbench measures the routing-search hot paths with the
+// standard testing.Benchmark harness and persists the numbers as JSON
+// (BENCH_search.json at the repository root via `make bench-json`), so
+// performance claims in the documentation are regenerable artifacts
+// rather than prose.
+//
+// It covers the two perf-critical layers:
+//
+//   - per-state evaluation: the Rat64 small-word kernel vs the pinned
+//     *big.Rat water filling (core.Evaluator)
+//   - routing-space enumeration: the default symmetry-canonical space vs
+//     the full n^|F| space (search.LexMaxMin), including an n=5 instance
+//     where canonicalization shrinks 5^7 = 78125 states to 855
+//
+// Usage:
+//
+//	closbench                 print the JSON to stdout
+//	closbench -o BENCH.json   write it to a file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"closnet/internal/adversary"
+	"closnet/internal/core"
+	"closnet/internal/search"
+	"closnet/internal/topology"
+)
+
+// Bench is one benchmark row of the emitted JSON.
+type Bench struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// States is the number of routing states one operation enumerates
+	// (search benchmarks only).
+	States int `json:"states,omitempty"`
+	// StatesPerSec is States scaled by the measured op time.
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+}
+
+// Report is the schema of BENCH_search.json.
+type Report struct {
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Benches   []Bench `json:"benchmarks"`
+	// EvaluatorSpeedup is big.Rat ns/op over Rat64 ns/op on the same
+	// per-state evaluation workload.
+	EvaluatorSpeedup float64 `json:"evaluator_speedup"`
+	// StateReductionC5 is the full-space over canonical-space state count
+	// for the 7-flow C_5 search instance.
+	StateReductionC5 float64 `json:"state_reduction_c5"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "closbench:", err)
+		os.Exit(1)
+	}
+}
+
+// benchInstance mirrors the contended collection of the repository
+// benchmarks: flows alternate between a cyclic permutation and loopback
+// pairs so the water filling has several freeze rounds per assignment.
+func benchInstance(n, flows int) (*topology.Clos, core.Collection) {
+	c := topology.MustClos(n)
+	fs := core.Collection{}
+	for f := 0; f < flows; f++ {
+		i := f%n + 1
+		if f%2 == 0 {
+			fs = fs.Add(c.Source(i, 1), c.Dest(i%n+1, 1), 1)
+		} else {
+			fs = fs.Add(c.Source(i, 1), c.Dest(i, 1), 1)
+		}
+	}
+	return c, fs
+}
+
+// benchEvaluator measures one max-min fair evaluation per op on a
+// contended C_4 instance, on the Rat64 kernel or pinned to big.Rat.
+func benchEvaluator(forceBig bool) (Bench, error) {
+	c, fs := benchInstance(4, 8)
+	ev, err := core.NewEvaluator(c, fs)
+	if err != nil {
+		return Bench{}, err
+	}
+	ev.ForceBig(forceBig)
+	rng := rand.New(rand.NewSource(3))
+	mas := make([]core.MiddleAssignment, 64)
+	for i := range mas {
+		mas[i] = make(core.MiddleAssignment, len(fs))
+		for fi := range mas[i] {
+			mas[i][fi] = 1 + rng.Intn(c.Size())
+		}
+	}
+	name := "Evaluator"
+	if forceBig {
+		name = "EvaluatorBigRat"
+	}
+	return measure(name, 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Eval(mas[i%len(mas)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchLexSearch measures one exhaustive lex-max-min search per op and
+// records the per-search state count.
+func benchLexSearch(name string, c *topology.Clos, fs core.Collection, opts search.Options) (Bench, error) {
+	res, err := search.LexMaxMin(c, fs, opts)
+	if err != nil {
+		return Bench{}, err
+	}
+	return measure(name, res.States, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := search.LexMaxMin(c, fs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func measure(name string, states int, fn func(b *testing.B)) (Bench, error) {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	if r.N == 0 {
+		return Bench{}, fmt.Errorf("%s: benchmark failed", name)
+	}
+	out := Bench{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		States:      states,
+	}
+	if states > 0 && r.NsPerOp() > 0 {
+		out.StatesPerSec = float64(states) * 1e9 / float64(r.NsPerOp())
+	}
+	return out, nil
+}
+
+func run(args []string) error {
+	fl := flag.NewFlagSet("closbench", flag.ContinueOnError)
+	out := fl.String("o", "", "write the JSON report to this file (default: stdout)")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+
+	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+
+	fast, err := benchEvaluator(false)
+	if err != nil {
+		return err
+	}
+	big, err := benchEvaluator(true)
+	if err != nil {
+		return err
+	}
+	rep.Benches = append(rep.Benches, fast, big)
+	if fast.NsPerOp > 0 {
+		rep.EvaluatorSpeedup = float64(big.NsPerOp) / float64(fast.NsPerOp)
+	}
+
+	ex, err := adversary.Example23()
+	if err != nil {
+		return err
+	}
+	serialFull, err := benchLexSearch("LexSearchFullExample23",
+		ex.Clos, ex.Flows, search.Options{FullSpace: true, Workers: 1})
+	if err != nil {
+		return err
+	}
+	serialCanon, err := benchLexSearch("LexSearchCanonicalExample23",
+		ex.Clos, ex.Flows, search.Options{Workers: 1})
+	if err != nil {
+		return err
+	}
+	rep.Benches = append(rep.Benches, serialFull, serialCanon)
+
+	c5, fs5 := benchInstance(5, 7)
+	fullC5, err := benchLexSearch("LexSearchFullC5", c5, fs5, search.Options{FullSpace: true})
+	if err != nil {
+		return err
+	}
+	canonC5, err := benchLexSearch("LexSearchCanonicalC5", c5, fs5, search.Options{})
+	if err != nil {
+		return err
+	}
+	rep.Benches = append(rep.Benches, fullC5, canonC5)
+	if canonC5.States > 0 {
+		rep.StateReductionC5 = float64(fullC5.States) / float64(canonC5.States)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(*out, blob, 0o644)
+}

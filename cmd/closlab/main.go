@@ -7,6 +7,7 @@
 //	closlab -all               run every experiment
 //	closlab -exp S1 -csv       emit CSV (or -json) instead of aligned text
 //	closlab -exp A1 -workers 1 force the serial routing-space search
+//	closlab -all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiment IDs follow DESIGN.md's per-experiment index: F1, F2, T1,
 // F3, T2, F4, T3, S1, S1b, S2, P1, E1, R1, M1, D1, O1, A1.
@@ -24,6 +25,7 @@ import (
 
 	"closnet"
 	"closnet/internal/experiments"
+	"closnet/internal/profiling"
 )
 
 func main() {
@@ -42,11 +44,22 @@ func run(args []string) error {
 		csv     = fl.Bool("csv", false, "emit CSV instead of aligned text")
 		js      = fl.Bool("json", false, "emit JSON instead of aligned text")
 		workers = fl.Int("workers", 0, "routing-space search workers (0 = all cores, 1 = serial)")
+		cpuProf = fl.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fl.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
 	experiments.SearchWorkers = *workers
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "closlab:", perr)
+		}
+	}()
 
 	runners := closnet.Experiments()
 	switch {

@@ -8,6 +8,7 @@
 //	closverify               verify with default ranges
 //	closverify -max-n 9 -max-k 32 -v
 //	closverify -workers 1    force the serial feasibility search
+//	closverify -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	"closnet"
+	"closnet/internal/profiling"
 )
 
 func main() {
@@ -34,10 +36,21 @@ func run(args []string, out io.Writer) error {
 		maxK    = fl.Int("max-k", 16, "largest multiplicity to verify")
 		verbose = fl.Bool("v", false, "print each check")
 		workers = fl.Int("workers", 0, "feasibility search workers (0 = all cores, 1 = serial)")
+		cpuProf = fl.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fl.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "closverify:", perr)
+		}
+	}()
 	checks := 0
 	report := func(name string, ok bool, detail string) error {
 		checks++

@@ -72,13 +72,14 @@ func run() error {
 		fmt.Printf("%s: %v  (throughput %v)\n", routing.name, a.SortedCopy(), closnet.Throughput(a))
 	}
 
-	// Exhaustive search over all 2^6 routings finds the lex-max-min fair
-	// allocation (Definition 2.4).
+	// Exhaustive search finds the lex-max-min fair allocation
+	// (Definition 2.4): the 2^6 routings collapse to 32 canonical
+	// representatives under middle-switch relabeling.
 	opt, err := closnet.LexMaxMin(c, flows, closnet.SearchOptions{})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("lex-max-min fair rates:  %v  via middles %v (%d routings searched)\n",
+	fmt.Printf("lex-max-min fair rates:  %v  via middles %v (%d canonical routings searched)\n",
 		opt.Allocation.SortedCopy(), opt.Assignment, opt.States)
 	fmt.Println("note: even the best routing is lex-below the macro-switch —",
 		"the macro abstraction over-promises under unsplittable flows")

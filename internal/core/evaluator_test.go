@@ -21,7 +21,8 @@ func evaluatorCollection(c *topology.Clos) Collection {
 
 // TestEvaluatorMatchesClosMaxMinFair: Eval must return exactly the
 // allocation ClosMaxMinFair returns — same rationals, not merely equal
-// floats — over every assignment of a small instance.
+// floats — over every assignment of a small instance, on both the Rat64
+// kernel and the pinned big.Rat fallback.
 func TestEvaluatorMatchesClosMaxMinFair(t *testing.T) {
 	c := topology.MustClos(2)
 	fs := evaluatorCollection(c) // 4 flows: 2^4 = 16 assignments
@@ -29,6 +30,11 @@ func TestEvaluatorMatchesClosMaxMinFair(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	evBig, err := NewEvaluator(c, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evBig.ForceBig(true)
 	ma := UniformAssignment(len(fs), 1)
 	for rank := 0; rank < 16; rank++ {
 		r := rank
@@ -47,12 +53,27 @@ func TestEvaluatorMatchesClosMaxMinFair(t *testing.T) {
 		if !got.Equal(want) {
 			t.Errorf("rank %d (%v): Eval = %v, ClosMaxMinFair = %v", rank, ma, got, want)
 		}
+		big, err := evBig.Eval(ma)
+		if err != nil {
+			t.Fatalf("rank %d big: %v", rank, err)
+		}
+		if !big.Equal(want) {
+			t.Errorf("rank %d (%v): ForceBig Eval = %v, ClosMaxMinFair = %v", rank, ma, big, want)
+		}
+	}
+	if !ev.fast {
+		t.Error("unit-capacity Clos did not enable the Rat64 fast path")
+	}
+	if ev.Promotions() != 0 {
+		t.Errorf("unit-capacity instance promoted %d times", ev.Promotions())
 	}
 }
 
 // TestEvaluatorMatchesRandom cross-checks scratch reuse on a larger
 // instance with pseudo-random assignments: a stale buffer from a prior
-// call would surface as a mismatch.
+// call would surface as a mismatch. The same evaluator alternates
+// between the Rat64 kernel and the big.Rat path to prove the two share
+// scratch without interference.
 func TestEvaluatorMatchesRandom(t *testing.T) {
 	c := topology.MustClos(4)
 	fs := evaluatorCollection(c)
@@ -70,6 +91,7 @@ func TestEvaluatorMatchesRandom(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
+		ev.ForceBig(trial%3 == 2)
 		got, err := ev.Eval(ma)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
@@ -77,6 +99,9 @@ func TestEvaluatorMatchesRandom(t *testing.T) {
 		if !got.Equal(want) {
 			t.Errorf("trial %d (%v): Eval = %v, ClosMaxMinFair = %v", trial, ma, got, want)
 		}
+	}
+	if ev.Promotions() != 0 {
+		t.Errorf("unit-capacity instance promoted %d times", ev.Promotions())
 	}
 }
 

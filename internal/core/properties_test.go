@@ -79,12 +79,11 @@ func TestQuickWaterfillPermutationEquivariance(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		want := make(rational.Vec, len(fs))
 		for i, j := range perm {
-			if pa[i].Cmp(a[j]) != 0 {
-				return false
-			}
+			want[i] = a[j]
 		}
-		return true
+		return pa.Equal(want)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

@@ -72,7 +72,7 @@ func RunF1() (*Table, error) {
 	}
 	addAlloc("C_2 lex-max-min (exhaustive)", opt.Allocation)
 	t.AddNote("paper: macro sorted vector [1/3,1/3,1/3,2/3,2/3,1]; routing A [1/3,1/3,1/3,2/3,2/3,2/3]; routing B [1/3,1/3,1/3,1/3,2/3,1]; macro ≻ A ≻ B")
-	t.AddNote("exhaustive search over %d routings confirms routing A is lex-max-min", opt.States)
+	t.AddNote("exhaustive search over %d canonical routings confirms routing A is lex-max-min", opt.States)
 	return t, nil
 }
 

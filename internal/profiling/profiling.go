@@ -1,0 +1,52 @@
+// Package profiling wires the standard runtime/pprof collectors into the
+// command-line tools. Both cmd/closlab and cmd/closverify expose
+// -cpuprofile and -memprofile flags backed by Start, so hot paths — the
+// routing-space search and the Rat64 evaluation kernel in particular —
+// can be profiled on real workloads without a test harness.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuFile and arranges for a heap
+// profile to be written to memFile. Either path may be empty to skip
+// that profile. The returned stop function flushes and closes the
+// profiles; call it exactly once, after the workload finishes (typically
+// via defer in main's run function).
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -60,7 +60,7 @@ func (v Vec) MinElem() *big.Rat {
 	}
 	m := v[0]
 	for _, x := range v[1:] {
-		if x.Cmp(m) < 0 {
+		if Cmp(x, m) < 0 {
 			m = x
 		}
 	}
@@ -71,7 +71,7 @@ func (v Vec) MinElem() *big.Rat {
 // in non-decreasing order. v itself is not modified.
 func (v Vec) SortedCopy() Vec {
 	w := v.Copy()
-	sort.Slice(w, func(i, j int) bool { return w[i].Cmp(w[j]) < 0 })
+	sort.Slice(w, func(i, j int) bool { return Cmp(w[i], w[j]) < 0 })
 	return w
 }
 
@@ -82,7 +82,7 @@ func (v Vec) Equal(w Vec) bool {
 		return false
 	}
 	for i := range v {
-		if v[i].Cmp(w[i]) != 0 {
+		if Cmp(v[i], w[i]) != 0 {
 			return false
 		}
 	}
@@ -114,7 +114,7 @@ func LexCompare(a, b Vec) int {
 		n = len(b)
 	}
 	for i := 0; i < n; i++ {
-		if c := a[i].Cmp(b[i]); c != 0 {
+		if c := Cmp(a[i], b[i]); c != 0 {
 			return c
 		}
 	}

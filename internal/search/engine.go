@@ -1,16 +1,20 @@
 // Parallel enumeration engine for the routing space R.
 //
-// The base-n counter over middle assignments is identified with an
-// integer rank (position `start` is the least-significant digit, so rank
-// order is exactly the serial enumeration order of `enumerate`). Each
-// worker owns one contiguous sub-range of ranks, decoded from the rank
-// itself — no shared counter exists — and evaluates max-min fair
-// allocations with a private core.Evaluator whose scratch buffers are
-// reused across states. Shard-local incumbents are merged with a
-// deterministic reduction: shards are visited in ascending rank order and
-// an incumbent is replaced only on strict improvement, so the merged
+// The engine ranks an enumeration space — by default the
+// symmetry-canonical space of canon.go (one representative per
+// middle-relabeling orbit), or the full base-n counter space under
+// Options.FullSpace — and shards contiguous rank ranges over worker
+// goroutines. Each worker decodes its first state from the rank itself
+// (no shared counter exists) and evaluates max-min fair allocations
+// with a private core.Evaluator whose Rat64 scratch is reused across
+// states. Shard-local incumbents are merged with a deterministic
+// reduction: shards are visited in ascending rank order and an
+// incumbent is replaced only on strict improvement, so the merged
 // winner is the earliest-rank optimum — bit-identical to the serial
-// result regardless of worker count.
+// result regardless of worker count, and (because canonical
+// representatives are the min-rank elements of their orbits, visited in
+// ascending full-space rank) bit-identical to the legacy full-space
+// serial scan as well.
 //
 // Early exit (the Lemma 3.2/5.2 throughput upper bound) and inner errors
 // propagate through a cancellation signal: a worker whose incumbent
@@ -33,51 +37,70 @@ import (
 	"closnet/internal/topology"
 )
 
-// space is the ranked routing space of numFlows flows in C_n, with
-// positions [0, start) pinned to middle 1 by the FixFirst symmetry
-// reduction.
-type space struct {
-	n, numFlows, start int
-	total              int
+// enumSpace is a ranked enumeration order over middle assignments:
+// either the full n^|F| counter space or the symmetry-canonical space.
+type enumSpace interface {
+	total() int
+	// cursor binds ma to a fresh cursor positioned at rank, writing the
+	// rank's assignment into ma. Advancing the cursor mutates ma to the
+	// successor state.
+	cursor(rank int, ma core.MiddleAssignment) spaceCursor
 }
 
-func newSpace(n, numFlows int, opts Options) (space, error) {
-	free := numFlows
-	start := 0
-	if opts.FixFirst && numFlows > 0 {
-		free--
-		start = 1
-	}
-	total := stateCount(n, free, opts.maxStates())
-	if total < 0 {
-		return space{}, tooManyStatesError(n, free, opts.maxStates())
-	}
-	return space{n: n, numFlows: numFlows, start: start, total: total}, nil
+// spaceCursor steps its bound assignment through the space in rank
+// order.
+type spaceCursor interface {
+	advance()
 }
+
+// fullSpace is the unreduced routing space: the base-n counter over all
+// numFlows positions, with position 0 the least-significant digit, so
+// rank order is exactly the serial enumeration order of `enumerate`.
+type fullSpace struct {
+	n, numFlows int
+	tot         int
+}
+
+func newFullSpace(n, numFlows, maxStates int) (*fullSpace, error) {
+	total := stateCount(n, numFlows, maxStates)
+	if total < 0 {
+		return nil, tooManyStatesError(n, numFlows, maxStates)
+	}
+	return &fullSpace{n: n, numFlows: numFlows, tot: total}, nil
+}
+
+func (s *fullSpace) total() int { return s.tot }
 
 // decode writes the assignment with the given rank into ma: digit d of
-// the rank (base n, least significant first) becomes ma[start+d] - 1.
+// the rank (base n, least significant first) becomes ma[d] - 1.
 // Rank 0 is the all-ones assignment.
-func (s space) decode(rank int, ma core.MiddleAssignment) {
-	for pos := 0; pos < s.start; pos++ {
-		ma[pos] = 1
-	}
-	for pos := s.start; pos < s.numFlows; pos++ {
+func (s *fullSpace) decode(rank int, ma core.MiddleAssignment) {
+	for pos := 0; pos < s.numFlows; pos++ {
 		ma[pos] = 1 + rank%s.n
 		rank /= s.n
 	}
 }
 
-// next advances ma to the successor rank in place (the base-n counter
+func (s *fullSpace) cursor(rank int, ma core.MiddleAssignment) spaceCursor {
+	s.decode(rank, ma)
+	return &fullCursor{s: s, ma: ma}
+}
+
+type fullCursor struct {
+	s  *fullSpace
+	ma core.MiddleAssignment
+}
+
+// advance steps ma to the successor rank in place (the base-n counter
 // step). Advancing the last rank wraps back to rank 0; callers bound
 // their loops by rank, so the wrap is never observed.
-func (s space) next(ma core.MiddleAssignment) {
-	for pos := s.start; pos < s.numFlows; pos++ {
-		if ma[pos] < s.n {
-			ma[pos]++
+func (c *fullCursor) advance() {
+	for pos := 0; pos < c.s.numFlows; pos++ {
+		if c.ma[pos] < c.s.n {
+			c.ma[pos]++
 			return
 		}
-		ma[pos] = 1
+		c.ma[pos] = 1
 	}
 }
 
@@ -113,29 +136,42 @@ func (o Options) workerCount() int {
 }
 
 // runEngine exhaustively optimizes the objective over the routing space
-// of fs in c. The result is bit-identical for every worker count.
+// of fs in c. The incumbent (assignment and allocation) is bit-identical
+// for every worker count and for both enumeration spaces; Result.States
+// counts the states of the space actually enumerated.
 func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective func() objective) (*Result, error) {
 	if len(fs) == 0 {
 		return &Result{Assignment: core.MiddleAssignment{}, Allocation: core.Allocation{}, States: 1}, nil
 	}
-	s, err := newSpace(c.Size(), len(fs), opts)
+	var (
+		s   enumSpace
+		err error
+	)
+	if opts.FullSpace {
+		s, err = newFullSpace(c.Size(), len(fs), opts.maxStates())
+	} else {
+		s, err = newCanonSpace(c.Size(), len(fs), opts.maxStates())
+	}
 	if err != nil {
 		return nil, err
 	}
 	workers := opts.workerCount()
-	if workers > s.total {
-		workers = s.total
+	if workers > s.total() {
+		workers = s.total()
 	}
-	if workers <= 1 {
+	if opts.FullSpace && workers <= 1 {
+		// The exact legacy path: in-place counter walk evaluating
+		// core.ClosMaxMinFair per state, kept as the independent oracle
+		// the equivalence tests cross-check the engine against.
 		return runSerial(c, fs, opts, newObjective)
 	}
-	return runParallel(c, fs, s, workers, newObjective)
+	return runSharded(c, fs, s, workers, newObjective)
 }
 
 // runSerial is the exact legacy serial path: the in-place base-n counter
 // walk of enumerate evaluating core.ClosMaxMinFair per state. The
-// parallel equivalence tests cross-check the Evaluator-based workers
-// against this independent implementation.
+// equivalence tests cross-check the Evaluator-based sharded engine (and
+// the canonical enumeration) against this independent implementation.
 func runSerial(c *topology.Clos, fs core.Collection, opts Options, newObjective func() objective) (*Result, error) {
 	obj := newObjective()
 	var (
@@ -177,14 +213,15 @@ type shardIncumbent struct {
 	alloc core.Allocation
 }
 
-func runParallel(c *topology.Clos, fs core.Collection, s space, workers int, newObjective func() objective) (*Result, error) {
+func runSharded(c *topology.Clos, fs core.Collection, s enumSpace, workers int, newObjective func() objective) (*Result, error) {
 	var (
 		stopRank atomic.Int64 // exclusive bound: ranks ≥ stopRank are unneeded
 		aborted  atomic.Bool  // an inner error cancels every worker
 		errMu    sync.Mutex
 		firstErr error
 	)
-	stopRank.Store(int64(s.total))
+	total := s.total()
+	stopRank.Store(int64(total))
 	fail := func(err error) {
 		errMu.Lock()
 		if firstErr == nil {
@@ -204,7 +241,7 @@ func runParallel(c *topology.Clos, fs core.Collection, s space, workers int, new
 
 	incumbents := make([]shardIncumbent, workers)
 	var wg sync.WaitGroup
-	chunk, rem := s.total/workers, s.total%workers
+	chunk, rem := total/workers, total%workers
 	lo := 0
 	for w := 0; w < workers; w++ {
 		hi := lo + chunk
@@ -222,8 +259,8 @@ func runParallel(c *topology.Clos, fs core.Collection, s space, workers int, new
 			obj := newObjective()
 			local := &incumbents[w]
 			local.rank = -1
-			ma := make(core.MiddleAssignment, s.numFlows)
-			s.decode(lo, ma)
+			ma := make(core.MiddleAssignment, len(fs))
+			cur := s.cursor(lo, ma)
 			for rank := lo; rank < hi; rank++ {
 				if aborted.Load() || int64(rank) >= stopRank.Load() {
 					return
@@ -245,7 +282,7 @@ func runParallel(c *topology.Clos, fs core.Collection, s space, workers int, new
 						return
 					}
 				}
-				s.next(ma)
+				cur.advance()
 			}
 		}(w, lo, hi)
 		lo = hi

@@ -87,21 +87,71 @@ func checkSameResult(t *testing.T, name string, workers int, serial, par *Result
 
 // TestLexMaxMinParallelEquivalence: the parallel engine returns the
 // bit-identical assignment, allocation and state count as the serial
-// path, for every worker count and with and without FixFirst.
+// path, for every worker count, on both enumeration spaces — and the
+// canonical optimizer expands back to exactly the incumbent the legacy
+// full-space serial scan reports.
 func TestLexMaxMinParallelEquivalence(t *testing.T) {
 	for name, in := range equivalenceInstances(t) {
-		for _, fixFirst := range []bool{false, true} {
-			serial, err := LexMaxMin(in.c, in.fs, Options{Workers: 1, FixFirst: fixFirst})
+		for _, fullSpace := range []bool{false, true} {
+			serial, err := LexMaxMin(in.c, in.fs, Options{Workers: 1, FullSpace: fullSpace})
 			if err != nil {
 				t.Fatalf("%s serial: %v", name, err)
 			}
 			for _, w := range parallelWorkerCounts {
-				par, err := LexMaxMin(in.c, in.fs, Options{Workers: w, FixFirst: fixFirst})
+				par, err := LexMaxMin(in.c, in.fs, Options{Workers: w, FullSpace: fullSpace})
 				if err != nil {
 					t.Fatalf("%s workers=%d: %v", name, w, err)
 				}
 				checkSameResult(t, name, w, serial, par)
 			}
+		}
+		// Cross-space bit-identity: the canonical incumbent IS the one the
+		// legacy full-space serial scan reports (min-rank optimum), not
+		// merely an isomorphic relabeling of it.
+		oracle, err := LexMaxMin(in.c, in.fs, Options{Workers: 1, FullSpace: true})
+		if err != nil {
+			t.Fatalf("%s oracle: %v", name, err)
+		}
+		canon, err := LexMaxMin(in.c, in.fs, Options{})
+		if err != nil {
+			t.Fatalf("%s canonical: %v", name, err)
+		}
+		if !sameAssignment(oracle.Assignment, canon.Assignment) {
+			t.Errorf("%s: canonical assignment %v != full-space oracle %v",
+				name, canon.Assignment, oracle.Assignment)
+		}
+		if !oracle.Allocation.Equal(canon.Allocation) {
+			t.Errorf("%s: canonical allocation %v != full-space oracle %v",
+				name, canon.Allocation, oracle.Allocation)
+		}
+		if canon.States >= oracle.States {
+			t.Errorf("%s: canonicalization did not reduce states: %d vs %d",
+				name, canon.States, oracle.States)
+		}
+	}
+}
+
+// TestThroughputMaxMinCanonicalOracle: same cross-space bit-identity for
+// the early-exit objective — the canonical optimizer's incumbent matches
+// the full-space serial scan on assignment and allocation (States counts
+// the spaces' own deterministic prefixes, so it legitimately differs).
+func TestThroughputMaxMinCanonicalOracle(t *testing.T) {
+	for name, in := range equivalenceInstances(t) {
+		oracle, err := ThroughputMaxMin(in.c, in.fs, Options{Workers: 1, FullSpace: true})
+		if err != nil {
+			t.Fatalf("%s oracle: %v", name, err)
+		}
+		canon, err := ThroughputMaxMin(in.c, in.fs, Options{})
+		if err != nil {
+			t.Fatalf("%s canonical: %v", name, err)
+		}
+		if !sameAssignment(oracle.Assignment, canon.Assignment) {
+			t.Errorf("%s: canonical assignment %v != full-space oracle %v",
+				name, canon.Assignment, oracle.Assignment)
+		}
+		if !oracle.Allocation.Equal(canon.Allocation) {
+			t.Errorf("%s: canonical allocation %v != full-space oracle %v",
+				name, canon.Allocation, oracle.Allocation)
 		}
 	}
 }
@@ -168,7 +218,7 @@ func TestThroughputEarlyExitStates(t *testing.T) {
 			fs = fs.Add(c.Source(i, j), c.Dest(i+2, j), 1)
 		}
 	}
-	total := 16 // 2^4
+	total := 8 // canonical count: Σ_{k≤2} S(4,k), down from 2^4 = 16
 	serial, err := ThroughputMaxMin(c, fs, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -253,39 +303,93 @@ func TestEnumerateAborts(t *testing.T) {
 	}
 }
 
-// TestSpaceDecodeMatchesEnumerate: decoding rank r yields exactly the
-// r-th assignment of the serial enumeration order, the invariant the
-// shard split depends on.
+// spaceOrder collects the whole space by walking a single cursor from
+// rank 0.
+func spaceOrder(s enumSpace, numFlows int) []core.MiddleAssignment {
+	ma := make(core.MiddleAssignment, numFlows)
+	cur := s.cursor(0, ma)
+	order := make([]core.MiddleAssignment, 0, s.total())
+	for rank := 0; rank < s.total(); rank++ {
+		order = append(order, ma.Copy())
+		cur.advance()
+	}
+	return order
+}
+
+// isCanonical reports whether ma is its orbit's minimum-rank element:
+// the reversed digit string s[j] = ma[numFlows-1-j] is a restricted-
+// growth string.
+func isCanonical(ma core.MiddleAssignment) bool {
+	max := 0
+	for j := len(ma) - 1; j >= 0; j-- {
+		if ma[j] > max+1 {
+			return false
+		}
+		if ma[j] > max {
+			max = ma[j]
+		}
+	}
+	return true
+}
+
+// TestSpaceDecodeMatchesEnumerate: for both spaces, cursor(rank) yields
+// exactly the rank-th assignment of the reference enumeration order, and
+// advance agrees with cursor(rank+1) — the invariants the shard split
+// depends on. The canonical reference order is the serial full-space
+// order filtered to orbit-minimum representatives, which also proves the
+// canonical space visits representatives in ascending full-space rank.
 func TestSpaceDecodeMatchesEnumerate(t *testing.T) {
-	for _, fixFirst := range []bool{false, true} {
-		opts := Options{FixFirst: fixFirst}
-		s, err := newSpace(3, 4, opts)
-		if err != nil {
-			t.Fatal(err)
+	const n, numFlows = 3, 4
+	var fullOrder []core.MiddleAssignment
+	if err := enumerate(n, numFlows, Options{}, func(ma core.MiddleAssignment) bool {
+		fullOrder = append(fullOrder, ma.Copy())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var canonOrder []core.MiddleAssignment
+	for _, ma := range fullOrder {
+		if isCanonical(ma) {
+			canonOrder = append(canonOrder, ma)
 		}
-		var order []core.MiddleAssignment
-		if err := enumerate(3, 4, opts, func(ma core.MiddleAssignment) bool {
-			order = append(order, ma.Copy())
-			return true
-		}); err != nil {
-			t.Fatal(err)
+	}
+	// Σ_{k≤3} S(4,k) = 1 + 7 + 6 = 14 orbit representatives.
+	if len(canonOrder) != 14 {
+		t.Fatalf("%d canonical states of %d, want 14", len(canonOrder), len(fullOrder))
+	}
+
+	fullS, err := newFullSpace(n, numFlows, DefaultMaxStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonS, err := newCanonSpace(n, numFlows, DefaultMaxStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		s     enumSpace
+		order []core.MiddleAssignment
+	}{
+		{"full", fullS, fullOrder},
+		{"canonical", canonS, canonOrder},
+	} {
+		if tc.s.total() != len(tc.order) {
+			t.Fatalf("%s: space says %d states, reference has %d", tc.name, tc.s.total(), len(tc.order))
 		}
-		if len(order) != s.total {
-			t.Fatalf("fixFirst=%v: %d states enumerated, space says %d", fixFirst, len(order), s.total)
-		}
-		decoded := make(core.MiddleAssignment, 4)
-		for rank := range order {
-			s.decode(rank, decoded)
-			if !sameAssignment(decoded, order[rank]) {
-				t.Fatalf("fixFirst=%v rank %d: decode %v, enumerate %v", fixFirst, rank, decoded, order[rank])
+		// cursor(rank) must land on the rank-th reference state.
+		decoded := make(core.MiddleAssignment, numFlows)
+		for rank := range tc.order {
+			tc.s.cursor(rank, decoded)
+			if !sameAssignment(decoded, tc.order[rank]) {
+				t.Fatalf("%s rank %d: cursor %v, reference %v", tc.name, rank, decoded, tc.order[rank])
 			}
 		}
-		// next must agree with decode(rank+1).
-		s.decode(0, decoded)
-		for rank := 1; rank < s.total; rank++ {
-			s.next(decoded)
-			if !sameAssignment(decoded, order[rank]) {
-				t.Fatalf("fixFirst=%v rank %d: next %v, enumerate %v", fixFirst, rank, decoded, order[rank])
+		// A single cursor advanced through the space must trace the same
+		// order.
+		for rank, ma := range spaceOrder(tc.s, numFlows) {
+			if !sameAssignment(ma, tc.order[rank]) {
+				t.Fatalf("%s rank %d: advance %v, reference %v", tc.name, rank, ma, tc.order[rank])
 			}
 		}
 	}

@@ -38,12 +38,16 @@ const DefaultMaxStates = 1 << 21
 // Options tunes the exhaustive optimizers.
 type Options struct {
 	// MaxStates caps the number of enumerated assignments
-	// (0 = DefaultMaxStates).
+	// (0 = DefaultMaxStates). The cap applies to the space actually
+	// enumerated — the canonical space by default — so instances whose
+	// full space n^|F| overflows the cap remain searchable as long as
+	// their canonical orbit count fits.
 	MaxStates int
-	// FixFirst pins flow 0 to middle switch 1, an n-fold symmetry
-	// reduction that is sound for both objectives because the topology
-	// and both objectives are invariant under permuting middle switches.
-	FixFirst bool
+	// FullSpace disables the symmetry-canonical enumeration (canon.go)
+	// and scans all n^|F| assignments. Both spaces produce bit-identical
+	// results; the full space exists as the independent oracle the
+	// equivalence tests cross-check canonicalization against.
+	FullSpace bool
 	// Workers is the number of enumeration worker goroutines: 0 runs one
 	// worker per available core, 1 forces the exact legacy serial path,
 	// and k ≥ 2 uses exactly k workers. Every setting returns
@@ -86,29 +90,21 @@ func tooManyStatesError(n, free, cap int) error {
 }
 
 // enumerate calls visit for every middle assignment of numFlows flows in
-// C_n (optionally with flow 0 pinned to middle 1), in rank order. The
-// assignment passed to visit is reused across calls; visit must copy it
-// to retain it. Returning false from visit aborts the walk immediately —
-// no further states are generated or visited.
+// C_n, in rank order. The assignment passed to visit is reused across
+// calls; visit must copy it to retain it. Returning false from visit
+// aborts the walk immediately — no further states are generated or
+// visited.
 func enumerate(n, numFlows int, opts Options, visit func(core.MiddleAssignment) bool) error {
-	free := numFlows
-	if opts.FixFirst && numFlows > 0 {
-		free--
-	}
-	if stateCount(n, free, opts.maxStates()) < 0 {
-		return tooManyStatesError(n, free, opts.maxStates())
+	if stateCount(n, numFlows, opts.maxStates()) < 0 {
+		return tooManyStatesError(n, numFlows, opts.maxStates())
 	}
 	ma := core.UniformAssignment(numFlows, 1)
 	if !visit(ma) {
 		return nil
 	}
-	start := 0
-	if opts.FixFirst {
-		start = 1
-	}
 	for {
-		// Increment the base-n counter over positions [start, numFlows).
-		pos := start
+		// Increment the base-n counter over positions [0, numFlows).
+		pos := 0
 		for pos < numFlows {
 			if ma[pos] < n {
 				ma[pos]++
@@ -139,7 +135,7 @@ type lexObjective struct {
 
 func (o *lexObjective) improves(cand core.Allocation) bool {
 	s := append(o.candSorted[:0], cand...)
-	sort.Slice(s, func(i, j int) bool { return s[i].Cmp(s[j]) < 0 })
+	sort.Slice(s, func(i, j int) bool { return rational.Cmp(s[i], s[j]) < 0 })
 	o.candSorted = s
 	if o.bestSorted != nil && rational.LexCompare(s, o.bestSorted) <= 0 {
 		return false
