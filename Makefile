@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json verify experiments cover fuzz clean
+.PHONY: all build test vet race bench bench-json verify experiments trace cover fuzz clean
 
 all: build vet test
 
@@ -33,6 +33,12 @@ verify:
 # Regenerate every figure/bound of the paper as tables.
 experiments:
 	$(GO) run ./cmd/closlab -all
+
+# Run every experiment with full observability: live metrics on stderr
+# and a structured JSONL journal in trace.jsonl (see internal/obs).
+trace:
+	$(GO) run ./cmd/closlab -all -metrics -trace trace.jsonl > /dev/null
+	@wc -l < trace.jsonl | xargs -I{} echo "trace.jsonl: {} events"
 
 cover:
 	$(GO) test -cover ./...

@@ -16,6 +16,16 @@
 //
 //	closbench                 print the JSON to stdout
 //	closbench -o BENCH.json   write it to a file
+//	closbench -o BENCH.json -force   overwrite even if the report shrinks
+//
+// Writing to an existing report file refuses to proceed when the new
+// report would carry fewer benchmark entries than the one on disk
+// (a shrinking report usually means a partial run); -force overrides.
+//
+// The shared observability flags of internal/obs (-trace, -metrics,
+// -cpuprofile, -memprofile, -debug-addr) are available as on every
+// closnet tool; with -metrics the final registry snapshot is embedded
+// in the report under "observability".
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 
 	"closnet/internal/adversary"
 	"closnet/internal/core"
+	"closnet/internal/obs"
 	"closnet/internal/search"
 	"closnet/internal/topology"
 )
@@ -59,6 +70,9 @@ type Report struct {
 	// StateReductionC5 is the full-space over canonical-space state count
 	// for the 7-flow C_5 search instance.
 	StateReductionC5 float64 `json:"state_reduction_c5"`
+	// Obs is the final metrics-registry snapshot of the run, present only
+	// when closbench is invoked with -metrics.
+	Obs *obs.Snapshot `json:"observability,omitempty"`
 }
 
 func main() {
@@ -116,15 +130,21 @@ func benchEvaluator(forceBig bool) (Bench, error) {
 }
 
 // benchLexSearch measures one exhaustive lex-max-min search per op and
-// records the per-search state count.
+// records the per-search state count. The warm-up run carries the obs
+// instrumentation (so -trace journals one search per benchmark and the
+// registry counts its states); the timed loop runs with observability
+// stripped so the published numbers stay comparable across runs with
+// and without -metrics.
 func benchLexSearch(name string, c *topology.Clos, fs core.Collection, opts search.Options) (Bench, error) {
 	res, err := search.LexMaxMin(c, fs, opts)
 	if err != nil {
 		return Bench{}, err
 	}
+	timed := opts
+	timed.Obs = nil
 	return measure(name, res.States, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := search.LexMaxMin(c, fs, opts); err != nil {
+			if _, err := search.LexMaxMin(c, fs, timed); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -156,8 +176,24 @@ func measure(name string, states int, fn func(b *testing.B)) (Bench, error) {
 func run(args []string) error {
 	fl := flag.NewFlagSet("closbench", flag.ContinueOnError)
 	out := fl.String("o", "", "write the JSON report to this file (default: stdout)")
+	force := fl.Bool("force", false, "overwrite -o even when the new report has fewer benchmarks than the existing file")
+	ob := obs.AddFlags(fl)
 	if err := fl.Parse(args); err != nil {
 		return err
+	}
+	orun, err := ob.Start("closbench", os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := orun.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "closbench:", cerr)
+		}
+	}()
+	o := orun.Obs
+	withObs := func(opts search.Options) search.Options {
+		opts.Obs = o
+		return opts
 	}
 
 	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
@@ -180,29 +216,34 @@ func run(args []string) error {
 		return err
 	}
 	serialFull, err := benchLexSearch("LexSearchFullExample23",
-		ex.Clos, ex.Flows, search.Options{FullSpace: true, Workers: 1})
+		ex.Clos, ex.Flows, withObs(search.Options{FullSpace: true, Workers: 1}))
 	if err != nil {
 		return err
 	}
 	serialCanon, err := benchLexSearch("LexSearchCanonicalExample23",
-		ex.Clos, ex.Flows, search.Options{Workers: 1})
+		ex.Clos, ex.Flows, withObs(search.Options{Workers: 1}))
 	if err != nil {
 		return err
 	}
 	rep.Benches = append(rep.Benches, serialFull, serialCanon)
 
 	c5, fs5 := benchInstance(5, 7)
-	fullC5, err := benchLexSearch("LexSearchFullC5", c5, fs5, search.Options{FullSpace: true})
+	fullC5, err := benchLexSearch("LexSearchFullC5", c5, fs5, withObs(search.Options{FullSpace: true}))
 	if err != nil {
 		return err
 	}
-	canonC5, err := benchLexSearch("LexSearchCanonicalC5", c5, fs5, search.Options{})
+	canonC5, err := benchLexSearch("LexSearchCanonicalC5", c5, fs5, withObs(search.Options{}))
 	if err != nil {
 		return err
 	}
 	rep.Benches = append(rep.Benches, fullC5, canonC5)
 	if canonC5.States > 0 {
 		rep.StateReductionC5 = float64(fullC5.States) / float64(canonC5.States)
+	}
+
+	if reg := o.Registry(); reg != nil {
+		snap := reg.Snapshot()
+		rep.Obs = &snap
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -214,5 +255,31 @@ func run(args []string) error {
 		_, err = os.Stdout.Write(blob)
 		return err
 	}
+	if err := guardOverwrite(*out, len(rep.Benches), *force); err != nil {
+		return err
+	}
 	return os.WriteFile(*out, blob, 0o644)
+}
+
+// guardOverwrite refuses to replace an existing report with one carrying
+// fewer benchmark entries — the signature of a partial run clobbering a
+// complete artifact — unless force is set. A missing or unparseable
+// existing file never blocks the write.
+func guardOverwrite(path string, newCount int, force bool) error {
+	if force {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil // no prior report (or unreadable): nothing to protect
+	}
+	var prev Report
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil // not a report we understand: nothing to protect
+	}
+	if newCount < len(prev.Benches) {
+		return fmt.Errorf("refusing to overwrite %s: new report has %d benchmarks, existing has %d (use -force to override)",
+			path, newCount, len(prev.Benches))
+	}
+	return nil
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, path string, benches int) {
+	t.Helper()
+	rep := Report{Benches: make([]Bench, benches)}
+	for i := range rep.Benches {
+		rep.Benches[i] = Bench{Name: "b", Iterations: 1}
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGuardOverwrite: writing a report with fewer benchmarks than the
+// existing file is refused unless forced; missing or unparseable
+// existing files never block.
+func TestGuardOverwrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_search.json")
+
+	if err := guardOverwrite(path, 1, false); err != nil {
+		t.Errorf("missing file blocked the write: %v", err)
+	}
+
+	writeReport(t, path, 3)
+	if err := guardOverwrite(path, 2, false); err == nil {
+		t.Error("shrinking report overwrote without -force")
+	}
+	if err := guardOverwrite(path, 3, false); err != nil {
+		t.Errorf("equal-size report blocked: %v", err)
+	}
+	if err := guardOverwrite(path, 4, false); err != nil {
+		t.Errorf("larger report blocked: %v", err)
+	}
+	if err := guardOverwrite(path, 2, true); err != nil {
+		t.Errorf("-force did not override: %v", err)
+	}
+
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := guardOverwrite(path, 0, false); err != nil {
+		t.Errorf("unparseable existing file blocked the write: %v", err)
+	}
+}

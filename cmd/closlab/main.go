@@ -8,6 +8,7 @@
 //	closlab -exp S1 -csv       emit CSV (or -json) instead of aligned text
 //	closlab -exp A1 -workers 1 force the serial routing-space search
 //	closlab -all -cpuprofile cpu.pprof -memprofile mem.pprof
+//	closlab -exp T2 -metrics -trace trace.jsonl
 //
 // Experiment IDs follow DESIGN.md's per-experiment index: F1, F2, T1,
 // F3, T2, F4, T3, S1, S1b, S2, P1, E1, R1, M1, D1, O1, A1.
@@ -16,6 +17,11 @@
 // routing-space search an experiment launches (0 = one worker per core,
 // 1 = serial). The tables are bit-identical for every setting; only
 // wall-clock time changes.
+//
+// The shared observability flags (internal/obs): -metrics prints live
+// search progress and a final metrics summary on stderr, -trace writes
+// a structured JSONL event journal, -debug-addr serves expvar/pprof,
+// and -cpuprofile/-memprofile capture pprof profiles.
 package main
 
 import (
@@ -25,7 +31,7 @@ import (
 
 	"closnet"
 	"closnet/internal/experiments"
-	"closnet/internal/profiling"
+	"closnet/internal/obs"
 )
 
 func main() {
@@ -44,20 +50,20 @@ func run(args []string) error {
 		csv     = fl.Bool("csv", false, "emit CSV instead of aligned text")
 		js      = fl.Bool("json", false, "emit JSON instead of aligned text")
 		workers = fl.Int("workers", 0, "routing-space search workers (0 = all cores, 1 = serial)")
-		cpuProf = fl.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fl.String("memprofile", "", "write a heap profile to this file on exit")
+		ob      = obs.AddFlags(fl)
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
 	experiments.SearchWorkers = *workers
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	orun, err := ob.Start("closlab", os.Stderr)
 	if err != nil {
 		return err
 	}
+	experiments.Obs = orun.Obs
 	defer func() {
-		if perr := stopProf(); perr != nil {
-			fmt.Fprintln(os.Stderr, "closlab:", perr)
+		if cerr := orun.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "closlab:", cerr)
 		}
 	}()
 
@@ -70,7 +76,7 @@ func run(args []string) error {
 		return nil
 	case *all:
 		for _, r := range runners {
-			if err := emit(r, *csv, *js); err != nil {
+			if err := emit(r, *csv, *js, orun.Obs); err != nil {
 				return err
 			}
 		}
@@ -78,7 +84,7 @@ func run(args []string) error {
 	case *exp != "":
 		for _, r := range runners {
 			if r.ID == *exp {
-				return emit(r, *csv, *js)
+				return emit(r, *csv, *js, orun.Obs)
 			}
 		}
 		return fmt.Errorf("unknown experiment %q (try -list)", *exp)
@@ -88,11 +94,14 @@ func run(args []string) error {
 	}
 }
 
-func emit(r closnet.ExperimentRunner, csv, js bool) error {
+func emit(r closnet.ExperimentRunner, csv, js bool, o *obs.Obs) error {
+	o.Journal().Emit("experiment.start", obs.F{"id": r.ID, "title": r.Title})
 	tab, err := r.Run()
 	if err != nil {
+		o.Journal().Emit("experiment.error", obs.F{"id": r.ID, "error": err.Error()})
 		return fmt.Errorf("%s: %w", r.ID, err)
 	}
+	o.Journal().Emit("experiment.end", obs.F{"id": r.ID})
 	switch {
 	case js:
 		out, err := tab.JSON()

@@ -10,6 +10,10 @@
 //
 // Evaluation uses the scenario's embedded assignment; if the scenario
 // carries none, every flow is routed via middle switch 1.
+//
+// The shared observability flags of internal/obs (-trace, -metrics,
+// -cpuprofile, -memprofile, -debug-addr) are available as on every
+// closnet tool.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"closnet"
 	"closnet/internal/codec"
 	"closnet/internal/core"
+	"closnet/internal/obs"
 	"closnet/internal/render"
 )
 
@@ -38,10 +43,20 @@ func run(args []string) error {
 		k      = fl.Int("k", 1, "multiplicity for parameterized families")
 		out    = fl.String("o", "", "output file (default stdout)")
 		eval   = fl.String("eval", "", "scenario file to water-fill and render")
+		ob     = obs.AddFlags(fl)
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
+	orun, err := ob.Start("closscen", os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := orun.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "closscen:", cerr)
+		}
+	}()
 
 	switch {
 	case *eval != "":

@@ -6,6 +6,10 @@
 //
 //	clostopo -n 4              inspect C_4 and MS_4
 //	clostopo -n 4 -links       additionally dump every link
+//
+// The shared observability flags of internal/obs (-trace, -metrics,
+// -cpuprofile, -memprofile, -debug-addr) are available as on every
+// closnet tool.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"closnet"
 	"closnet/internal/core"
 	"closnet/internal/maxflow"
+	"closnet/internal/obs"
 	"closnet/internal/render"
 )
 
@@ -32,10 +37,20 @@ func run(args []string) error {
 		n     = fl.Int("n", 2, "network size (middle switches)")
 		links = fl.Bool("links", false, "dump every link")
 		demo  = fl.Bool("demo", false, "render the Example 2.3 allocation over C_2")
+		ob    = obs.AddFlags(fl)
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
+	orun, err := ob.Start("clostopo", os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := orun.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "clostopo:", cerr)
+		}
+	}()
 
 	if *demo {
 		return runDemo()

@@ -9,6 +9,11 @@
 //	closverify -max-n 9 -max-k 32 -v
 //	closverify -workers 1    force the serial feasibility search
 //	closverify -cpuprofile cpu.pprof -memprofile mem.pprof
+//	closverify -metrics -trace verify.jsonl
+//
+// The shared observability flags (internal/obs) journal every check as
+// a verify.check event and count checks/violations in the metrics
+// registry.
 package main
 
 import (
@@ -19,7 +24,7 @@ import (
 	"os"
 
 	"closnet"
-	"closnet/internal/profiling"
+	"closnet/internal/obs"
 )
 
 func main() {
@@ -36,24 +41,29 @@ func run(args []string, out io.Writer) error {
 		maxK    = fl.Int("max-k", 16, "largest multiplicity to verify")
 		verbose = fl.Bool("v", false, "print each check")
 		workers = fl.Int("workers", 0, "feasibility search workers (0 = all cores, 1 = serial)")
-		cpuProf = fl.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fl.String("memprofile", "", "write a heap profile to this file on exit")
+		ob      = obs.AddFlags(fl)
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	orun, err := ob.Start("closverify", os.Stderr)
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if perr := stopProf(); perr != nil {
-			fmt.Fprintln(os.Stderr, "closverify:", perr)
+		if cerr := orun.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "closverify:", cerr)
 		}
 	}()
+	reg := orun.Obs.Registry()
+	jour := orun.Obs.Journal()
+	cChecks := reg.Counter("verify.checks")
+	cViolations := reg.Counter("verify.violations")
 	checks := 0
 	report := func(name string, ok bool, detail string) error {
 		checks++
+		cChecks.Inc()
+		jour.Emit("verify.check", obs.F{"name": name, "ok": ok, "detail": detail})
 		if *verbose || !ok {
 			status := "ok"
 			if !ok {
@@ -62,6 +72,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%-60s %s %s\n", name, status, detail)
 		}
 		if !ok {
+			cViolations.Inc()
 			return fmt.Errorf("bound violated: %s (%s)", name, detail)
 		}
 		return nil

@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"sort"
 
+	"closnet/internal/obs"
 	"closnet/internal/rational"
 	"closnet/internal/topology"
 )
@@ -59,6 +60,16 @@ type Evaluator struct {
 	// promotions counts Eval calls that overflowed the Rat64 kernel and
 	// were re-run on big.Rat.
 	promotions int
+
+	// Observability handles (see Instrument). All nil by default; nil
+	// handles make every touch point a single predictable nil check, so
+	// an uninstrumented evaluator's hot path is unchanged.
+	cFills      *obs.Counter
+	cFast       *obs.Counter
+	cPromotions *obs.Counter
+	cReuses     *obs.Counter
+	jour        *obs.Journal
+	used        bool // true after the first Eval (scratch-reuse tracking)
 
 	// big.Rat scratch for the promotion path: remaining capacities plus
 	// reusable receivers for the round arithmetic and the integer
@@ -130,6 +141,22 @@ func (e *Evaluator) ForceBig(on bool) { e.forceBig = on }
 // the Rat64 kernel and were transparently re-run on *big.Rat.
 func (e *Evaluator) Promotions() int { return e.promotions }
 
+// Instrument attaches the observability layer: fills, Rat64 fast-path
+// completions, big.Rat promotions and scratch reuses land in o's
+// metrics registry, and each promotion additionally journals a
+// core.promotion event. Counters are registered by name, so evaluators
+// instrumented from the same registry (one per search worker)
+// accumulate into shared metrics. A nil o — or a nil registry/journal
+// inside it — leaves the evaluator uninstrumented.
+func (e *Evaluator) Instrument(o *obs.Obs) {
+	reg := o.Registry()
+	e.cFills = reg.Counter("core.eval.fills")
+	e.cFast = reg.Counter("core.eval.fast")
+	e.cPromotions = reg.Counter("core.eval.promotions")
+	e.cReuses = reg.Counter("core.eval.scratch_reuses")
+	e.jour = o.Journal()
+}
+
 // Eval computes the max-min fair allocation of the collection under the
 // middle assignment ma, identical to ClosMaxMinFair(c, fs, ma). The
 // returned Allocation is freshly allocated and safe to retain; ma is
@@ -143,17 +170,26 @@ func (e *Evaluator) Eval(ma MiddleAssignment) (Allocation, error) {
 			return nil, fmt.Errorf("evaluator: flow %d: middle %d out of range [1, %d]", fi, m, e.n)
 		}
 	}
+	e.cFills.Inc()
+	if e.used {
+		e.cReuses.Inc()
+	} else {
+		e.used = true
+	}
 	if e.fast && !e.forceBig {
 		rates, ok, err := e.eval64(ma)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
+			e.cFast.Inc()
 			return rates, nil
 		}
 		// Some Rat64 operation overflowed: promote losslessly by
 		// re-running the state on the big.Rat path.
 		e.promotions++
+		e.cPromotions.Inc()
+		e.jour.Emit("core.promotion", obs.F{"promotions": e.promotions})
 	}
 	return e.evalBig(ma)
 }

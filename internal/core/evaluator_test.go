@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"closnet/internal/obs"
 	"closnet/internal/topology"
 )
 
@@ -122,5 +123,68 @@ func TestEvaluatorErrors(t *testing.T) {
 	}
 	if _, err := NewEvaluator(c, Collection{{Src: c.Input(1), Dst: c.Dest(1, 1)}}); err == nil {
 		t.Error("non-server source accepted")
+	}
+}
+
+// TestEvaluatorDisabledObsAllocParity pins the observability layer's
+// zero-overhead contract on the evaluator hot path: an evaluator
+// instrumented with a nil Obs (nil handles everywhere) allocates exactly
+// as much per Eval as one never instrumented at all.
+func TestEvaluatorDisabledObsAllocParity(t *testing.T) {
+	c := topology.MustClos(4)
+	fs := evaluatorCollection(c)
+	plain, err := NewEvaluator(c, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := NewEvaluator(c, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr.Instrument(nil)
+	ma := UniformAssignment(len(fs), 1)
+	evalAllocs := func(ev *Evaluator) float64 {
+		return testing.AllocsPerRun(200, func() {
+			if _, err := ev.Eval(ma); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base, withNil := evalAllocs(plain), evalAllocs(instr)
+	if base != withNil {
+		t.Errorf("Eval allocs/op: uninstrumented %.1f, nil-instrumented %.1f — disabled observability must be free", base, withNil)
+	}
+}
+
+// TestEvaluatorInstrumented: with a live registry the evaluator counts
+// fills, fast-path completions and scratch reuses.
+func TestEvaluatorInstrumented(t *testing.T) {
+	c := topology.MustClos(2)
+	fs := evaluatorCollection(c)
+	ev, err := NewEvaluator(c, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ev.Instrument(&obs.Obs{Reg: reg})
+	ma := UniformAssignment(len(fs), 1)
+	const evals = 5
+	for i := 0; i < evals; i++ {
+		if _, err := ev.Eval(ma); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["core.eval.fills"]; got != evals {
+		t.Errorf("core.eval.fills = %d, want %d", got, evals)
+	}
+	if got := snap.Counters["core.eval.fast"]; got != evals {
+		t.Errorf("core.eval.fast = %d, want %d (unit capacities never promote)", got, evals)
+	}
+	if got := snap.Counters["core.eval.scratch_reuses"]; got != evals-1 {
+		t.Errorf("core.eval.scratch_reuses = %d, want %d", got, evals-1)
+	}
+	if got := snap.Counters["core.eval.promotions"]; got != 0 {
+		t.Errorf("core.eval.promotions = %d, want 0", got)
 	}
 }

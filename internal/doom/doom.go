@@ -23,6 +23,7 @@ import (
 	"closnet/internal/coloring"
 	"closnet/internal/core"
 	"closnet/internal/matching"
+	"closnet/internal/obs"
 	"closnet/internal/topology"
 )
 
@@ -103,6 +104,15 @@ func Route(c *topology.Clos, fs core.Collection) (*Result, error) {
 // RouteWithPolicy runs the Doom-Switch algorithm with a custom victim
 // policy for step 3.
 func RouteWithPolicy(c *topology.Clos, fs core.Collection, victim VictimPolicy) (*Result, error) {
+	return RouteWithObs(c, fs, victim, nil)
+}
+
+// RouteWithObs runs the Doom-Switch algorithm with a custom victim
+// policy and the observability layer attached: route/matched/doomed
+// counters in o's registry and a doom.route journal event carrying the
+// matching size, the victim middle and the color-class sizes. A nil o
+// disables instrumentation.
+func RouteWithObs(c *topology.Clos, fs core.Collection, victim VictimPolicy, o *obs.Obs) (*Result, error) {
 	if err := fs.Validate(c.Network()); err != nil {
 		return nil, fmt.Errorf("doom: %w", err)
 	}
@@ -170,6 +180,16 @@ func RouteWithPolicy(c *topology.Clos, fs core.Collection, victim VictimPolicy) 
 	if allMatched {
 		res.DoomMiddle = 0
 	}
+	reg := o.Registry()
+	reg.Counter("doom.routes").Inc()
+	reg.Counter("doom.matched_flows").Add(int64(len(matched)))
+	reg.Counter("doom.doomed_flows").Add(int64(len(fs) - len(matched)))
+	o.Journal().Emit("doom.route", obs.F{
+		"flows":       len(fs),
+		"matched":     len(matched),
+		"doom_middle": res.DoomMiddle,
+		"class_sizes": sizes,
+	})
 	return res, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"closnet/internal/core"
+	"closnet/internal/obs"
 	"closnet/internal/topology"
 )
 
@@ -81,6 +82,11 @@ type Config struct {
 	// Seed drives all randomness (arrivals, sizes, endpoints, router
 	// tie-breaking).
 	Seed int64
+	// Obs attaches the runtime observability layer: arrival/departure/
+	// recompute counters, per-round allocation counts, and a journal
+	// event per flow-starvation transition (an active flow's rate
+	// dropping to zero). nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 // Result aggregates one run.
@@ -163,6 +169,7 @@ type activeFlow struct {
 	remaining float64
 	arrived   float64
 	rate      float64
+	starved   bool // rate was zero at the last recompute (starvation edge tracking)
 }
 
 // Run executes the simulation.
@@ -217,6 +224,15 @@ func Run(cfg Config) (*Result, error) {
 	clock := 0.0
 	nextArrival := 0
 
+	// Observability handles; all nil-safe when cfg.Obs is nil.
+	reg := cfg.Obs.Registry()
+	jour := cfg.Obs.Journal()
+	cArrivals := reg.Counter("dynsim.arrivals")
+	cDepartures := reg.Counter("dynsim.departures")
+	cRecomputes := reg.Counter("dynsim.rate_recomputes")
+	cAllocations := reg.Counter("dynsim.round_allocations")
+	cStarvations := reg.Counter("dynsim.starvation_events")
+
 	for nextArrival < cfg.NumFlows || len(active) > 0 {
 		// Next event: arrival or earliest completion at current rates.
 		tArr := math.Inf(1)
@@ -252,6 +268,7 @@ func Run(cfg Config) (*Result, error) {
 			res.FCTs[done.id] = clock - done.arrived
 			res.Slowdowns[done.id] = res.FCTs[done.id] / (sizes[done.id] / 1.0)
 			active = removeFlow(active, done)
+			cDepartures.Inc()
 		} else {
 			// Arrival: route it and admit it.
 			f := flows[nextArrival]
@@ -270,10 +287,28 @@ func Run(cfg Config) (*Result, error) {
 				arrived:   clock,
 			})
 			nextArrival++
+			cArrivals.Inc()
 		}
 
 		if err := recomputeRates(c, st, active, cfg.Discipline); err != nil {
 			return nil, err
+		}
+		cRecomputes.Inc()
+		cAllocations.Add(int64(len(active)))
+		// Starvation edges: an active flow whose recomputed rate is zero
+		// is making no progress — the dynamic analogue of the Theorem 4.3
+		// starvation the static searches measure. Journal each transition
+		// into starvation once, not every recompute it persists through.
+		for _, af := range active {
+			if af.rate <= 0 {
+				if !af.starved {
+					af.starved = true
+					cStarvations.Inc()
+					jour.Emit("dynsim.flow_starved", obs.F{"flow": af.id, "middle": af.middle, "t": clock})
+				}
+			} else {
+				af.starved = false
+			}
 		}
 	}
 	res.Duration = clock

@@ -82,6 +82,7 @@ func RunD1(cfg DynConfig) (*Table, error) {
 					Sizes:       dist,
 					NumFlows:    cfg.NumFlows,
 					Seed:        cfg.Seed,
+					Obs:         Obs,
 				})
 				if err != nil {
 					return nil, err

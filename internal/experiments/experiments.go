@@ -6,6 +6,7 @@ import (
 	"closnet/internal/adversary"
 	"closnet/internal/core"
 	"closnet/internal/doom"
+	"closnet/internal/obs"
 	"closnet/internal/rational"
 	"closnet/internal/search"
 )
@@ -16,10 +17,16 @@ import (
 // Results are bit-identical for every setting; only wall-clock changes.
 var SearchWorkers int
 
+// Obs is the observability sink handed to every instrumented subsystem
+// the experiments touch (searches, Doom-Switch, the dynamic simulator).
+// cmd/closlab sets it from its -metrics/-trace flags; nil (the default)
+// disables all instrumentation.
+var Obs *obs.Obs
+
 // searchOpts returns the default exhaustive-search options with the
-// package-level worker count applied.
+// package-level worker count and observability sink applied.
 func searchOpts() search.Options {
-	return search.Options{Workers: SearchWorkers}
+	return search.Options{Workers: SearchWorkers, Obs: Obs}
 }
 
 // RunF1 regenerates Figure 1 / Example 2.3: the max-min fair allocations
@@ -253,7 +260,7 @@ func RunF4() (*Table, error) {
 	}
 	t.AddRow("macro-switch max-min fair", typeRate(macro, adversary.Type1), typeRate(macro, adversary.Type2a), rational.String(core.Throughput(macro)))
 
-	res, err := doom.Route(in.Clos, in.Flows)
+	res, err := doom.RouteWithObs(in.Clos, in.Flows, doom.LeastLoaded(), Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +295,7 @@ func RunT3(ns, ks []int) (*Table, error) {
 				return nil, err
 			}
 			tm := core.Throughput(macro)
-			res, err := doom.Route(in.Clos, in.Flows)
+			res, err := doom.RouteWithObs(in.Clos, in.Flows, doom.LeastLoaded(), Obs)
 			if err != nil {
 				return nil, err
 			}

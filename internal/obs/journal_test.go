@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestJournalEmitDeterministic pins the wire format byte-for-byte under
+// an injected clock and run ID — the same determinism the search
+// golden-file test builds on. encoding/json writes map keys sorted, so
+// the field order is stable.
+func TestJournalEmitDeterministic(t *testing.T) {
+	var buf bytes.Buffer
+	var tick int64
+	j := NewJournal(&buf,
+		WithRunID("testrun"),
+		WithClock(func() int64 { tick += 1000; return tick }))
+	j.Emit("run.start", F{"tool": "x", "n": 3})
+	j.Emit("plain", nil)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t_ns":1000,"run":"testrun","ev":"run.start","fields":{"n":3,"tool":"x"}}
+{"t_ns":2000,"run":"testrun","ev":"plain"}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("journal bytes:\n got %q\nwant %q", got, want)
+	}
+	if j.RunID() != "testrun" {
+		t.Errorf("run ID = %q, want testrun", j.RunID())
+	}
+}
+
+// TestJournalDefaultRunID: without options the run ID is 8 random hex
+// characters and timestamps are monotone non-decreasing.
+func TestJournalDefaultRunID(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	if len(j.RunID()) != 8 {
+		t.Errorf("run ID %q, want 8 hex chars", j.RunID())
+	}
+	j.Emit("a", nil)
+	j.Emit("b", nil)
+	var prev int64 = -1
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e struct {
+			TNs int64  `json:"t_ns"`
+			Run string `json:"run"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		if e.Run != j.RunID() {
+			t.Errorf("line run ID %q, want %q", e.Run, j.RunID())
+		}
+		if e.TNs < prev {
+			t.Errorf("timestamps not monotone: %d after %d", e.TNs, prev)
+		}
+		prev = e.TNs
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestJournalStickyError: the first write failure is remembered, later
+// emits become no-ops, and Err reports the original failure — so
+// instrumented code never handles journal errors inline.
+func TestJournalStickyError(t *testing.T) {
+	j := NewJournal(failWriter{}, WithRunID("r"), WithClock(func() int64 { return 0 }))
+	j.Emit("a", nil)
+	err := j.Err()
+	if err == nil || err.Error() != "disk full" {
+		t.Fatalf("Err() = %v, want disk full", err)
+	}
+	j.Emit("b", nil) // must not panic, must not clobber the error
+	if got := j.Err(); got != err {
+		t.Errorf("sticky error changed: %v", got)
+	}
+}
+
+// TestJournalEncodeError: an unmarshalable field value is also sticky.
+func TestJournalEncodeError(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf, WithRunID("r"))
+	j.Emit("bad", F{"fn": func() {}})
+	if j.Err() == nil {
+		t.Error("unmarshalable field did not surface as Err")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("partial line written: %q", buf.String())
+	}
+}
+
+// TestJournalNil: every method of a nil journal is a safe no-op.
+func TestJournalNil(t *testing.T) {
+	var j *Journal
+	j.Emit("ev", F{"k": 1})
+	if j.Err() != nil || j.RunID() != "" {
+		t.Error("nil journal carries state")
+	}
+}
+
+// syncBuffer makes bytes.Buffer safe for the raw concurrent writes of
+// TestJournalConcurrent's verification pass.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// TestJournalConcurrent: emits from many goroutines interleave as whole
+// lines — every line parses as one JSON event and none are lost.
+func TestJournalConcurrent(t *testing.T) {
+	var buf syncBuffer
+	j := NewJournal(&buf, WithRunID("conc"))
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				j.Emit("tick", F{"g": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf.buf)
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			t.Fatalf("torn journal line: %q", sc.Text())
+		}
+		lines++
+	}
+	if lines != goroutines*perG {
+		t.Errorf("journal has %d lines, want %d", lines, goroutines*perG)
+	}
+}
+
+var _ io.Writer = (*syncBuffer)(nil)

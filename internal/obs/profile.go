@@ -1,9 +1,4 @@
-// Package profiling wires the standard runtime/pprof collectors into the
-// command-line tools. Both cmd/closlab and cmd/closverify expose
-// -cpuprofile and -memprofile flags backed by Start, so hot paths — the
-// routing-space search and the Rat64 evaluation kernel in particular —
-// can be profiled on real workloads without a test harness.
-package profiling
+package obs
 
 import (
 	"fmt"
@@ -12,12 +7,13 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling into cpuFile and arranges for a heap
-// profile to be written to memFile. Either path may be empty to skip
-// that profile. The returned stop function flushes and closes the
-// profiles; call it exactly once, after the workload finishes (typically
-// via defer in main's run function).
-func Start(cpuFile, memFile string) (stop func() error, err error) {
+// StartProfiles begins CPU profiling into cpuFile and arranges for a
+// heap profile to be written to memFile. Either path may be empty to
+// skip that profile. The returned stop function flushes and closes the
+// profiles; call it exactly once, after the workload finishes (the CLI
+// wiring calls it from Run.Close). Formerly package profiling; folded
+// into obs so all cmd tools share one flag-registration helper.
+func StartProfiles(cpuFile, memFile string) (stop func() error, err error) {
 	var cpu *os.File
 	if cpuFile != "" {
 		cpu, err = os.Create(cpuFile)

@@ -32,10 +32,41 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"closnet/internal/core"
+	"closnet/internal/obs"
 	"closnet/internal/topology"
 )
+
+// engineObs carries the preregistered observability handles of one
+// search run. All handles are nil-safe, so a zero/nil-field value (the
+// Options.Obs == nil case) disables instrumentation at the cost of one
+// predictable nil check per touch point and zero allocations.
+type engineObs struct {
+	obs          *obs.Obs
+	j            *obs.Journal
+	states       *obs.Counter // assignments actually evaluated (includes speculative ones beyond the stop rank)
+	improvements *obs.Counter // incumbent improvements across all shards
+	earlyExits   *obs.Counter // stop-rank publications (Lemma 3.2/5.2 bound attained)
+	spaceTotal   *obs.Gauge   // cumulative size of the enumerated spaces
+	stopRank     *obs.Gauge   // last early-exit stop rank (0 when no search exited early)
+	duration     *obs.Timer   // wall time per search run
+}
+
+func newEngineObs(o *obs.Obs) engineObs {
+	reg := o.Registry()
+	return engineObs{
+		obs:          o,
+		j:            o.Journal(),
+		states:       reg.Counter("search.states"),
+		improvements: reg.Counter("search.improvements"),
+		earlyExits:   reg.Counter("search.early_exits"),
+		spaceTotal:   reg.Gauge("search.space_total"),
+		stopRank:     reg.Gauge("search.stop_rank"),
+		duration:     reg.Timer("search.duration"),
+	}
+}
 
 // enumSpace is a ranked enumeration order over middle assignments:
 // either the full n^|F| counter space or the symmetry-canonical space.
@@ -159,20 +190,39 @@ func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 	if workers > s.total() {
 		workers = s.total()
 	}
+	eo := newEngineObs(opts.Obs)
+	space := "canonical"
+	if opts.FullSpace {
+		space = "full"
+	}
+	eo.spaceTotal.Add(int64(s.total()))
+	eo.j.Emit("search.start", obs.F{
+		"space": space, "total": s.total(), "workers": workers, "flows": len(fs), "n": c.Size(),
+	})
+	start := time.Now()
+	var res *Result
 	if opts.FullSpace && workers <= 1 {
 		// The exact legacy path: in-place counter walk evaluating
 		// core.ClosMaxMinFair per state, kept as the independent oracle
 		// the equivalence tests cross-check the engine against.
-		return runSerial(c, fs, opts, newObjective)
+		res, err = runSerial(c, fs, opts, newObjective, eo)
+	} else {
+		res, err = runSharded(c, fs, s, workers, newObjective, eo)
 	}
-	return runSharded(c, fs, s, workers, newObjective)
+	eo.duration.Observe(time.Since(start))
+	if err != nil {
+		eo.j.Emit("search.error", obs.F{"error": err.Error()})
+		return nil, err
+	}
+	eo.j.Emit("search.end", obs.F{"states": res.States})
+	return res, nil
 }
 
 // runSerial is the exact legacy serial path: the in-place base-n counter
 // walk of enumerate evaluating core.ClosMaxMinFair per state. The
 // equivalence tests cross-check the Evaluator-based sharded engine (and
 // the canonical enumeration) against this independent implementation.
-func runSerial(c *topology.Clos, fs core.Collection, opts Options, newObjective func() objective) (*Result, error) {
+func runSerial(c *topology.Clos, fs core.Collection, opts Options, newObjective func() objective, eo engineObs) (*Result, error) {
 	obj := newObjective()
 	var (
 		res      Result
@@ -185,11 +235,17 @@ func runSerial(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 			return false
 		}
 		res.States++
+		eo.states.Inc()
 		if obj.improves(a) {
 			obj.install(a)
 			res.Allocation = a
 			res.Assignment = ma.Copy()
+			eo.improvements.Inc()
+			eo.j.Emit("search.incumbent", obs.F{"shard": 0, "rank": res.States - 1})
 			if obj.optimal() {
+				eo.earlyExits.Inc()
+				eo.stopRank.Set(int64(res.States))
+				eo.j.Emit("search.stop_rank", obs.F{"shard": 0, "rank": res.States})
 				return false
 			}
 		}
@@ -213,7 +269,7 @@ type shardIncumbent struct {
 	alloc core.Allocation
 }
 
-func runSharded(c *topology.Clos, fs core.Collection, s enumSpace, workers int, newObjective func() objective) (*Result, error) {
+func runSharded(c *topology.Clos, fs core.Collection, s enumSpace, workers int, newObjective func() objective, eo engineObs) (*Result, error) {
 	var (
 		stopRank atomic.Int64 // exclusive bound: ranks ≥ stopRank are unneeded
 		aborted  atomic.Bool  // an inner error cancels every worker
@@ -240,14 +296,25 @@ func runSharded(c *topology.Clos, fs core.Collection, s enumSpace, workers int, 
 	}
 
 	incumbents := make([]shardIncumbent, workers)
+	evaluated := make([]int, workers) // per-shard evaluation counts for the merge journal
 	var wg sync.WaitGroup
 	chunk, rem := total/workers, total%workers
+
+	// Shard boundaries are journaled from this goroutine, before any
+	// worker starts, so the shard_start sequence is deterministic.
+	bounds := make([]int, workers+1)
 	lo := 0
 	for w := 0; w < workers; w++ {
 		hi := lo + chunk
 		if w < rem {
 			hi++
 		}
+		bounds[w], bounds[w+1] = lo, hi
+		eo.j.Emit("search.shard_start", obs.F{"shard": w, "lo": lo, "hi": hi})
+		lo = hi
+	}
+
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
@@ -256,6 +323,7 @@ func runSharded(c *topology.Clos, fs core.Collection, s enumSpace, workers int, 
 				fail(err)
 				return
 			}
+			ev.Instrument(eo.obs)
 			obj := newObjective()
 			local := &incumbents[w]
 			local.rank = -1
@@ -270,22 +338,27 @@ func runSharded(c *topology.Clos, fs core.Collection, s enumSpace, workers int, 
 					fail(err)
 					return
 				}
+				evaluated[w]++
+				eo.states.Inc()
 				if obj.improves(a) {
 					obj.install(a)
 					local.rank = rank
 					local.ma = ma.Copy()
 					local.alloc = a
+					eo.improvements.Inc()
+					eo.j.Emit("search.incumbent", obs.F{"shard": w, "rank": rank})
 					if obj.optimal() {
 						// Every later rank is unneeded; earlier shards keep
 						// running so the lowest optimal rank wins.
 						lowerStop(int64(rank) + 1)
+						eo.earlyExits.Inc()
+						eo.j.Emit("search.stop_rank", obs.F{"shard": w, "rank": rank + 1})
 						return
 					}
 				}
 				cur.advance()
 			}
-		}(w, lo, hi)
-		lo = hi
+		}(w, bounds[w], bounds[w+1])
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -295,18 +368,25 @@ func runSharded(c *topology.Clos, fs core.Collection, s enumSpace, workers int, 
 	// Deterministic reduction: shards in ascending rank order, replace
 	// only on strict improvement. Equal-valued later incumbents (possible
 	// speculative finds beyond the stop rank) lose to the earliest one.
+	// The shard_merge journal events follow the same ascending order, so
+	// trace consumers observe the reduction exactly as it ran.
 	merged := newObjective()
 	res := &Result{States: int(stopRank.Load())}
 	for w := range incumbents {
 		inc := &incumbents[w]
-		if inc.rank < 0 {
-			continue
-		}
-		if merged.improves(inc.alloc) {
+		improved := false
+		if inc.rank >= 0 && merged.improves(inc.alloc) {
 			merged.install(inc.alloc)
 			res.Assignment = inc.ma
 			res.Allocation = inc.alloc
+			improved = true
 		}
+		eo.j.Emit("search.shard_merge", obs.F{
+			"shard": w, "evaluated": evaluated[w], "rank": inc.rank, "improved": improved,
+		})
+	}
+	if stop := stopRank.Load(); stop < int64(total) {
+		eo.stopRank.Set(stop)
 	}
 	return res, nil
 }

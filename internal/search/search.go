@@ -24,6 +24,7 @@ import (
 
 	"closnet/internal/core"
 	"closnet/internal/matching"
+	"closnet/internal/obs"
 	"closnet/internal/rational"
 	"closnet/internal/topology"
 )
@@ -53,6 +54,12 @@ type Options struct {
 	// and k ≥ 2 uses exactly k workers. Every setting returns
 	// bit-identical results (see engine.go).
 	Workers int
+	// Obs attaches the runtime observability layer to the search: state
+	// and incumbent counters in the metrics registry, shard/merge/stop
+	// events in the journal (see internal/obs). nil disables all
+	// instrumentation; the hot path then pays a single nil check per
+	// state and allocates nothing.
+	Obs *obs.Obs
 }
 
 func (o Options) maxStates() int {
