@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json verify experiments trace cover fuzz clean
+.PHONY: all build test vet race bench bench-json verify experiments trace serve loadgen cover fuzz clean
 
 all: build vet test
 
@@ -39,6 +39,17 @@ experiments:
 trace:
 	$(GO) run ./cmd/closlab -all -metrics -trace trace.jsonl > /dev/null
 	@wc -l < trace.jsonl | xargs -I{} echo "trace.jsonl: {} events"
+
+# Run the scenario-evaluation daemon (see cmd/closnetd and the README
+# "Serving" section). Ctrl-C drains in-flight requests before exit.
+serve:
+	$(GO) run ./cmd/closnetd -addr localhost:8427 -metrics
+
+# The serving benchmark: replay the C_4 corpus against an in-process
+# daemon, warm cache then cold path.
+loadgen:
+	$(GO) run ./cmd/closnetd loadgen -duration 5s
+	$(GO) run ./cmd/closnetd loadgen -duration 5s -cold
 
 cover:
 	$(GO) test -cover ./...

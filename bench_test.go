@@ -9,6 +9,8 @@ package closnet
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -332,7 +334,7 @@ func BenchmarkFeasibilityRefuterT42(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, ok, err := FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0, 0)
+		_, ok, err := FeasibleRouting(context.Background(), in.Clos, in.Flows, in.MacroRates, 0, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -22,6 +22,7 @@
 package closnet
 
 import (
+	"context"
 	"math/big"
 
 	"closnet/internal/adversary"
@@ -198,8 +199,10 @@ func RelativeMaxMin(c *Clos, fs Collection, target Vec, opts SearchOptions) (*Re
 // on the same ToR/server shape. It returns (m, true) on success within
 // maxMiddles, (0, false) otherwise. workers follows the
 // SearchOptions.Workers policy (0 = one worker per core, 1 = serial).
-func MinMiddlesToRoute(c *Clos, fs Collection, demands Vec, maxMiddles, maxNodes, workers int) (int, bool, error) {
-	return search.MinMiddlesToRoute(c, fs, demands, maxMiddles, maxNodes, workers)
+// ctx cancellation propagates into every feasibility search; a cancelled
+// probe returns ctx.Err().
+func MinMiddlesToRoute(ctx context.Context, c *Clos, fs Collection, demands Vec, maxMiddles, maxNodes, workers int) (int, bool, error) {
+	return search.MinMiddlesToRoute(ctx, c, fs, demands, maxMiddles, maxNodes, workers)
 }
 
 // FairSharingFCT simulates max-min fair sharing among all flows at once
@@ -223,9 +226,10 @@ func AverageFCT(times Vec) *big.Rat { return schedule.AverageFCT(times) }
 // returns a witness when one exists. maxNodes caps the search
 // (0 = default); workers follows the SearchOptions.Workers policy
 // (0 = one worker per core, 1 = serial) and the answer is identical for
-// every worker count.
-func FeasibleRouting(c *Clos, fs Collection, demands Vec, maxNodes, workers int) (MiddleAssignment, bool, error) {
-	return search.FeasibleRouting(c, fs, demands, maxNodes, workers)
+// every worker count. The backtracker polls ctx periodically; a
+// cancelled search returns ctx.Err() and discards any partial witness.
+func FeasibleRouting(ctx context.Context, c *Clos, fs Collection, demands Vec, maxNodes, workers int) (MiddleAssignment, bool, error) {
+	return search.FeasibleRouting(ctx, c, fs, demands, maxNodes, workers)
 }
 
 // DoomSwitch runs the Doom-Switch algorithm (Algorithm 1): a maximum

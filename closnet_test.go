@@ -1,6 +1,8 @@
 package closnet
 
 import (
+	"context"
+
 	"testing"
 )
 
@@ -83,7 +85,7 @@ func TestPublicAPIFeasibilityAndSplittable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ok, err := FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0, 0)
+	_, ok, err := FeasibleRouting(context.Background(), in.Clos, in.Flows, in.MacroRates, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

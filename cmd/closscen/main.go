@@ -110,11 +110,7 @@ func buildFamily(family string, n, k int) (*closnet.AdversarialInstance, error) 
 }
 
 func evaluate(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	s, err := codec.Decode(data)
+	s, err := codec.LoadFile(path)
 	if err != nil {
 		return err
 	}

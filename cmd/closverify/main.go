@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -140,7 +141,7 @@ func verifyTheorem42(maxN, workers int, report func(string, bool, string) error)
 		if err != nil {
 			return err
 		}
-		_, ok, err := closnet.FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0, workers)
+		_, ok, err := closnet.FeasibleRouting(context.Background(), in.Clos, in.Flows, in.MacroRates, 0, workers)
 		if err != nil {
 			return err
 		}
@@ -286,7 +287,7 @@ func verifyRearrangeability(workers int, report func(string, bool, string) error
 	if err != nil {
 		return err
 	}
-	m, ok, err := closnet.MinMiddlesToRoute(in.Clos, in.Flows, in.MacroRates, 5, 0, workers)
+	m, ok, err := closnet.MinMiddlesToRoute(context.Background(), in.Clos, in.Flows, in.MacroRates, 5, 0, workers)
 	if err != nil {
 		return err
 	}

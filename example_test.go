@@ -1,6 +1,8 @@
 package closnet_test
 
 import (
+	"context"
+
 	"fmt"
 
 	"closnet"
@@ -63,7 +65,7 @@ func ExampleLexMaxMin() {
 // macro-switch rates of the adversarial collection admit no routing.
 func ExampleFeasibleRouting() {
 	in, _ := closnet.Theorem42(3)
-	_, ok, _ := closnet.FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0, 0)
+	_, ok, _ := closnet.FeasibleRouting(context.Background(), in.Clos, in.Flows, in.MacroRates, 0, 0)
 	fmt.Println("replicable:", ok)
 	// Output: replicable: false
 }

@@ -5,6 +5,8 @@ package closnet
 // macro-switch abstraction, plus the save/replay loop through the codec.
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -182,7 +184,7 @@ func TestPipelineRelativeFairnessAndMinMiddles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, ok, err := MinMiddlesToRoute(t42.Clos, t42.Flows, t42.MacroRates, 6, 0, 0)
+	m, ok, err := MinMiddlesToRoute(context.Background(), t42.Clos, t42.Flows, t42.MacroRates, 6, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,136 @@
+package codec
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"os"
+	"sort"
+)
+
+// Canonical returns the canonical form of a scenario: the unique
+// representative of every scenario that denotes the same problem
+// instance. Two scenarios that differ only in flow order, in the
+// textual representation of their demand strings ("2/4" vs "1/2") or
+// in their display name canonicalize to the same value, so the
+// canonical form is a content-address for the instance — the cache key
+// of the serving layer (internal/server) and the preimage of Hash.
+//
+// Canonicalization (the input is not mutated):
+//
+//   - the Name is dropped (a label, not part of the instance),
+//   - every demand string is normalized to big.Rat.RatString form
+//     (lowest terms, no denominator when it is 1),
+//   - flows are sorted by (srcSwitch, srcServer, dstSwitch, dstServer,
+//     demand, assignment), with demands and assignment permuted in
+//     parallel so each flow keeps its own demand and middle switch.
+//
+// The routing symmetry of the search layer (relabeling middle
+// switches) is deliberately NOT quotiented out: an assignment is part
+// of the instance as stated, and evaluation results are reported in
+// canonical flow order.
+func Canonical(s *Scenario) (*Scenario, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	c := &Scenario{
+		Tors:    s.Tors,
+		Servers: s.Servers,
+		Middles: s.Middles,
+	}
+	demands := make([]string, len(s.Demands))
+	for fi, str := range s.Demands {
+		r, ok := new(big.Rat).SetString(str)
+		if !ok {
+			return nil, fmt.Errorf("codec: flow %d demand %q is not a rational", fi, str)
+		}
+		if r.Sign() < 0 {
+			return nil, fmt.Errorf("codec: flow %d demand %q is negative", fi, str)
+		}
+		demands[fi] = r.RatString()
+	}
+
+	perm := make([]int, len(s.Flows))
+	for i := range perm {
+		perm[i] = i
+	}
+	flowLess := func(a, b int) bool {
+		fa, fb := s.Flows[a], s.Flows[b]
+		switch {
+		case fa.SrcSwitch != fb.SrcSwitch:
+			return fa.SrcSwitch < fb.SrcSwitch
+		case fa.SrcServer != fb.SrcServer:
+			return fa.SrcServer < fb.SrcServer
+		case fa.DstSwitch != fb.DstSwitch:
+			return fa.DstSwitch < fb.DstSwitch
+		case fa.DstServer != fb.DstServer:
+			return fa.DstServer < fb.DstServer
+		}
+		if len(demands) > 0 && demands[a] != demands[b] {
+			// Compare numerically, not textually: the strings are already
+			// normalized, but "2" vs "11" must order as rationals.
+			ra, _ := new(big.Rat).SetString(demands[a])
+			rb, _ := new(big.Rat).SetString(demands[b])
+			return ra.Cmp(rb) < 0
+		}
+		if len(s.Assignment) > 0 && s.Assignment[a] != s.Assignment[b] {
+			return s.Assignment[a] < s.Assignment[b]
+		}
+		return false
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return flowLess(perm[i], perm[j]) })
+
+	c.Flows = make([]FlowJSON, len(s.Flows))
+	for i, fi := range perm {
+		c.Flows[i] = s.Flows[fi]
+	}
+	if s.Demands != nil {
+		c.Demands = make([]string, len(demands))
+		for i, fi := range perm {
+			c.Demands[i] = demands[fi]
+		}
+	}
+	if s.Assignment != nil {
+		c.Assignment = make([]int, len(s.Assignment))
+		for i, fi := range perm {
+			c.Assignment[i] = s.Assignment[fi]
+		}
+	}
+	return c, nil
+}
+
+// Hash returns the SHA-256 content address of the scenario: the hash
+// of the compact JSON encoding of its canonical form. Semantically
+// equal scenarios — same instance up to flow order, demand-string
+// representation and name — hash equal; any change to the shape, the
+// flows, a demand value or the assignment changes the hash.
+func (s *Scenario) Hash() ([32]byte, error) {
+	_, sum, err := CanonicalHash(s)
+	return sum, err
+}
+
+// CanonicalHash canonicalizes s once and returns both the canonical
+// form and its content address — the serving layer needs the pair and
+// must not pay for two canonicalization passes on its hot path.
+func CanonicalHash(s *Scenario) (*Scenario, [32]byte, error) {
+	c, err := Canonical(s)
+	if err != nil {
+		return nil, [32]byte{}, err
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		return nil, [32]byte{}, fmt.Errorf("codec: %w", err)
+	}
+	return c, sha256.Sum256(data), nil
+}
+
+// LoadFile reads and decodes a scenario file — the one JSON-reading
+// path shared by the CLIs and the closnetd daemon.
+func LoadFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	return Decode(data)
+}

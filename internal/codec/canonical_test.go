@@ -1,0 +1,207 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleScenario() *Scenario {
+	return &Scenario{
+		Name:    "sample",
+		Tors:    4,
+		Servers: 2,
+		Middles: 2,
+		Flows: []FlowJSON{
+			{SrcSwitch: 2, SrcServer: 1, DstSwitch: 3, DstServer: 2},
+			{SrcSwitch: 1, SrcServer: 2, DstSwitch: 4, DstServer: 1},
+			{SrcSwitch: 1, SrcServer: 1, DstSwitch: 3, DstServer: 1},
+		},
+		Demands:    []string{"2/4", "1", "3/9"},
+		Assignment: []int{2, 1, 2},
+	}
+}
+
+func TestCanonicalSortsFlowsAndPermutesInParallel(t *testing.T) {
+	s := sampleScenario()
+	c, err := Canonical(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "" {
+		t.Errorf("canonical form kept name %q", c.Name)
+	}
+	wantFlows := []FlowJSON{
+		{SrcSwitch: 1, SrcServer: 1, DstSwitch: 3, DstServer: 1},
+		{SrcSwitch: 1, SrcServer: 2, DstSwitch: 4, DstServer: 1},
+		{SrcSwitch: 2, SrcServer: 1, DstSwitch: 3, DstServer: 2},
+	}
+	for i, want := range wantFlows {
+		if c.Flows[i] != want {
+			t.Errorf("flow %d = %+v, want %+v", i, c.Flows[i], want)
+		}
+	}
+	// Demands and assignment must ride along with their flows.
+	wantDemands := []string{"1/3", "1", "1/2"}
+	wantAssignment := []int{2, 1, 2}
+	for i := range wantDemands {
+		if c.Demands[i] != wantDemands[i] {
+			t.Errorf("demand %d = %q, want %q", i, c.Demands[i], wantDemands[i])
+		}
+		if c.Assignment[i] != wantAssignment[i] {
+			t.Errorf("assignment %d = %d, want %d", i, c.Assignment[i], wantAssignment[i])
+		}
+	}
+	// The input is not mutated.
+	if s.Flows[0].SrcSwitch != 2 || s.Demands[0] != "2/4" {
+		t.Error("Canonical mutated its input")
+	}
+}
+
+func TestHashEqualForSemanticallyEqualScenarios(t *testing.T) {
+	a := sampleScenario()
+	h1, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same instance: permuted flows, unnormalized rate strings, other name.
+	b := &Scenario{
+		Name:    "other-label",
+		Tors:    4,
+		Servers: 2,
+		Middles: 2,
+		Flows: []FlowJSON{
+			{SrcSwitch: 1, SrcServer: 1, DstSwitch: 3, DstServer: 1},
+			{SrcSwitch: 2, SrcServer: 1, DstSwitch: 3, DstServer: 2},
+			{SrcSwitch: 1, SrcServer: 2, DstSwitch: 4, DstServer: 1},
+		},
+		Demands:    []string{"6/18", "4/8", "7/7"},
+		Assignment: []int{2, 2, 1},
+	}
+	h2, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("semantically equal scenarios hash differently:\n%x\n%x", h1, h2)
+	}
+}
+
+func TestHashDistinguishesInstances(t *testing.T) {
+	base := sampleScenario()
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Scenario){
+		"shape":      func(s *Scenario) { s.Middles = 3 },
+		"flow":       func(s *Scenario) { s.Flows[0].DstServer = 1 },
+		"demand":     func(s *Scenario) { s.Demands[1] = "1/7" },
+		"assignment": func(s *Scenario) { s.Assignment[2] = 1 },
+		"no-demands": func(s *Scenario) { s.Demands = nil },
+		"no-assign":  func(s *Scenario) { s.Assignment = nil },
+	}
+	for name, mutate := range mutations {
+		m := sampleScenario()
+		mutate(m)
+		h, err := m.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == h0 {
+			t.Errorf("mutation %q did not change the hash", name)
+		}
+	}
+}
+
+func TestHashStableUnderEncodeDecodeRoundTrip(t *testing.T) {
+	s := sampleScenario()
+	h1, err := s.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := rt.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("hash changed across an encode/decode round trip")
+	}
+}
+
+func TestCanonicalIsIdempotentAndBuildEquivalent(t *testing.T) {
+	s := sampleScenario()
+	c1, err := Canonical(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Canonical(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(c1)
+	j2, _ := json.Marshal(c2)
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("Canonical is not idempotent:\n%s\n%s", j1, j2)
+	}
+	// The canonical scenario still builds.
+	if _, _, _, _, err := c1.Build(); err != nil {
+		t.Fatalf("canonical scenario does not build: %v", err)
+	}
+}
+
+func TestCanonicalRejectsInvalid(t *testing.T) {
+	bad := sampleScenario()
+	bad.Demands[0] = "not-a-rational"
+	if _, err := Canonical(bad); err == nil {
+		t.Error("bad demand string accepted")
+	}
+	if _, err := bad.Hash(); err == nil {
+		t.Error("Hash accepted a bad demand string")
+	}
+	shape := sampleScenario()
+	shape.Tors = 0
+	if _, err := Canonical(shape); err == nil {
+		t.Error("invalid shape accepted")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	s := sampleScenario()
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || len(got.Flows) != len(s.Flows) {
+		t.Errorf("LoadFile round trip mismatch: %+v", got)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(badPath); err == nil {
+		t.Error("malformed file accepted")
+	}
+}

@@ -10,6 +10,9 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"tors":2,"servers":1,"middles":1,"flows":[{"srcSwitch":1,"srcServer":1,"dstSwitch":2,"dstServer":1}]}`))
 	f.Add([]byte(`{"tors":2,"servers":1,"middles":2,"flows":[{"srcSwitch":1,"srcServer":1,"dstSwitch":2,"dstServer":1}],"demands":["1/2"],"assignment":[2]}`))
+	// Rate-string normalization seed: "2/4" must canonicalize (and hash)
+	// exactly like "1/2".
+	f.Add([]byte(`{"tors":2,"servers":1,"middles":2,"flows":[{"srcSwitch":1,"srcServer":1,"dstSwitch":2,"dstServer":1}],"demands":["2/4"],"assignment":[2]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Decode(data)
@@ -23,6 +26,24 @@ func FuzzDecode(f *testing.F) {
 		}
 		if _, err := Encode(s); err != nil {
 			t.Fatalf("accepted scenario failed to re-encode: %v", err)
+		}
+		// Anything that builds must canonicalize, and the content address
+		// must be a fixed point: hashing the canonical form reproduces
+		// the original hash (normalization is idempotent).
+		h1, err := s.Hash()
+		if err != nil {
+			t.Fatalf("buildable scenario failed to hash: %v", err)
+		}
+		c, err := Canonical(s)
+		if err != nil {
+			t.Fatalf("buildable scenario failed to canonicalize: %v", err)
+		}
+		h2, err := c.Hash()
+		if err != nil {
+			t.Fatalf("canonical form failed to hash: %v", err)
+		}
+		if h1 != h2 {
+			t.Fatalf("hash is not a fixed point of canonicalization: %x vs %x", h1, h2)
 		}
 	})
 }

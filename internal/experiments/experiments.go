@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"closnet/internal/adversary"
@@ -174,12 +175,12 @@ func RunF3(ns []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, full, err := search.FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0, SearchWorkers)
+		_, full, err := search.FeasibleRouting(context.Background(), in.Clos, in.Flows, in.MacroRates, 0, SearchWorkers)
 		if err != nil {
 			return nil, err
 		}
 		t3 := in.FlowsOfType(adversary.Type3)[0]
-		_, partial, err := search.FeasibleRouting(in.Clos, in.Flows[:t3], in.MacroRates[:t3], 0, SearchWorkers)
+		_, partial, err := search.FeasibleRouting(context.Background(), in.Clos, in.Flows[:t3], in.MacroRates[:t3], 0, SearchWorkers)
 		if err != nil {
 			return nil, err
 		}

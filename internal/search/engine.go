@@ -29,6 +29,7 @@
 package search
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,13 @@ import (
 	"closnet/internal/obs"
 	"closnet/internal/topology"
 )
+
+// ctxCheckMask sets the cancellation polling cadence: each enumeration
+// loop polls Options.Ctx once every ctxCheckMask+1 states. Per-state
+// evaluation is microseconds, so 64 states bound the cancellation
+// latency well under a millisecond while keeping the poll off the
+// per-state fast path.
+const ctxCheckMask = 63
 
 // engineObs carries the preregistered observability handles of one
 // search run. All handles are nil-safe, so a zero/nil-field value (the
@@ -186,6 +194,10 @@ func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 	if err != nil {
 		return nil, err
 	}
+	ctx := opts.context()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	workers := opts.workerCount()
 	if workers > s.total() {
 		workers = s.total()
@@ -205,9 +217,15 @@ func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 		// The exact legacy path: in-place counter walk evaluating
 		// core.ClosMaxMinFair per state, kept as the independent oracle
 		// the equivalence tests cross-check the engine against.
-		res, err = runSerial(c, fs, opts, newObjective, eo)
+		res, err = runSerial(ctx, c, fs, opts, newObjective, eo)
 	} else {
-		res, err = runSharded(c, fs, s, workers, newObjective, eo)
+		res, err = runSharded(ctx, c, fs, s, workers, newObjective, eo)
+	}
+	if err == nil && ctx.Err() != nil {
+		// A run that is cancelled is cancelled, even when the enumeration
+		// won the race to completion: no Result escapes, for any worker
+		// count or cancellation timing.
+		err = ctx.Err()
 	}
 	eo.duration.Observe(time.Since(start))
 	if err != nil {
@@ -222,13 +240,22 @@ func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 // walk of enumerate evaluating core.ClosMaxMinFair per state. The
 // equivalence tests cross-check the Evaluator-based sharded engine (and
 // the canonical enumeration) against this independent implementation.
-func runSerial(c *topology.Clos, fs core.Collection, opts Options, newObjective func() objective, eo engineObs) (*Result, error) {
+func runSerial(ctx context.Context, c *topology.Clos, fs core.Collection, opts Options, newObjective func() objective, eo engineObs) (*Result, error) {
 	obj := newObjective()
+	done := ctx.Done()
 	var (
 		res      Result
 		innerErr error
 	)
 	err := enumerate(c.Size(), len(fs), opts, func(ma core.MiddleAssignment) bool {
+		if done != nil && res.States&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				innerErr = ctx.Err()
+				return false
+			default:
+			}
+		}
 		a, err := core.ClosMaxMinFair(c, fs, ma)
 		if err != nil {
 			innerErr = err
@@ -269,7 +296,7 @@ type shardIncumbent struct {
 	alloc core.Allocation
 }
 
-func runSharded(c *topology.Clos, fs core.Collection, s enumSpace, workers int, newObjective func() objective, eo engineObs) (*Result, error) {
+func runSharded(ctx context.Context, c *topology.Clos, fs core.Collection, s enumSpace, workers int, newObjective func() objective, eo engineObs) (*Result, error) {
 	var (
 		stopRank atomic.Int64 // exclusive bound: ranks ≥ stopRank are unneeded
 		aborted  atomic.Bool  // an inner error cancels every worker
@@ -329,9 +356,18 @@ func runSharded(c *topology.Clos, fs core.Collection, s enumSpace, workers int, 
 			local.rank = -1
 			ma := make(core.MiddleAssignment, len(fs))
 			cur := s.cursor(lo, ma)
+			done := ctx.Done()
 			for rank := lo; rank < hi; rank++ {
 				if aborted.Load() || int64(rank) >= stopRank.Load() {
 					return
+				}
+				if done != nil && rank&ctxCheckMask == 0 {
+					select {
+					case <-done:
+						fail(ctx.Err())
+						return
+					default:
+					}
 				}
 				a, err := ev.Eval(ma)
 				if err != nil {

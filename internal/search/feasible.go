@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -41,8 +42,12 @@ const DefaultMaxNodes = 5_000_000
 // shared across workers; because workers explore speculatively, a
 // parallel run may in rare cases exhaust a budget a serial run would
 // not, but never the converse.
-func FeasibleRouting(c *topology.Clos, fs core.Collection, demands rational.Vec, maxNodes, workers int) (core.MiddleAssignment, bool, error) {
-	p, err := newFeasibleProblem(c, fs, demands, maxNodes)
+//
+// ctx bounds the search: the backtracker polls it periodically (every
+// ctxNodeCheckMask+1 nodes) and a cancelled run returns ctx.Err() with
+// any partial witness discarded.
+func FeasibleRouting(ctx context.Context, c *topology.Clos, fs core.Collection, demands rational.Vec, maxNodes, workers int) (core.MiddleAssignment, bool, error) {
+	p, err := newFeasibleProblem(ctx, c, fs, demands, maxNodes)
 	if err != nil {
 		return nil, false, err
 	}
@@ -62,6 +67,11 @@ func FeasibleRouting(c *topology.Clos, fs core.Collection, demands rational.Vec,
 			return false // stop at first witness
 		})
 		if err != nil {
+			return nil, false, err
+		}
+		if err := ctx.Err(); err != nil {
+			// Mirror the parallel path: a cancelled query never reports
+			// an answer, even when the walk finished first.
 			return nil, false, err
 		}
 		return witness, found, nil
@@ -84,7 +94,7 @@ func FeasibleRouting(c *topology.Clos, fs core.Collection, demands rational.Vec,
 // permuting identical flows — such as the counting conditions of
 // Claim 4.5 — is therefore checked over all feasible routings.
 func ForEachFeasibleRouting(c *topology.Clos, fs core.Collection, demands rational.Vec, maxNodes int, visit func(core.MiddleAssignment) bool) error {
-	p, err := newFeasibleProblem(c, fs, demands, maxNodes)
+	p, err := newFeasibleProblem(context.Background(), c, fs, demands, maxNodes)
 	if err != nil {
 		return err
 	}
@@ -106,16 +116,40 @@ type feasibleProblem struct {
 	order       []int
 	sameGroup   []bool
 
+	ctx    context.Context
+	done   <-chan struct{}
 	budget int64
 	nodes  atomic.Int64
+}
+
+// ctxNodeCheckMask sets the backtracker's cancellation polling cadence:
+// the shared node counter triggers a poll every ctxNodeCheckMask+1
+// nodes across all workers.
+const ctxNodeCheckMask = 255
+
+// checkCtx polls the query's context at the given node count and
+// returns ctx.Err() when the deadline passed or the caller cancelled.
+func (p *feasibleProblem) checkCtx(nodes int64) error {
+	if p.done == nil || nodes&ctxNodeCheckMask != 0 {
+		return nil
+	}
+	select {
+	case <-p.done:
+		return p.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // newFeasibleProblem validates the query and precomputes the placement
 // order. It returns (nil, nil) when a server link is overloaded — the
 // demands are infeasible regardless of routing.
-func newFeasibleProblem(c *topology.Clos, fs core.Collection, demands rational.Vec, maxNodes int) (*feasibleProblem, error) {
+func newFeasibleProblem(ctx context.Context, c *topology.Clos, fs core.Collection, demands rational.Vec, maxNodes int) (*feasibleProblem, error) {
 	if len(demands) != len(fs) {
 		return nil, fmt.Errorf("search: %d demands for %d flows", len(demands), len(fs))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
@@ -125,6 +159,8 @@ func newFeasibleProblem(c *topology.Clos, fs core.Collection, demands rational.V
 		tors:    c.NumToRs(),
 		nf:      len(fs),
 		demands: demands,
+		ctx:     ctx,
+		done:    ctx.Done(),
 		budget:  int64(maxNodes),
 	}
 
@@ -259,8 +295,12 @@ func (w *feasibleWalker) place(k int) error {
 		if in[m].Cmp(d) < 0 || out[m].Cmp(d) < 0 {
 			continue
 		}
-		if p.nodes.Add(1) > p.budget {
+		nodes := p.nodes.Add(1)
+		if nodes > p.budget {
 			return ErrSearchBudget
+		}
+		if err := p.checkCtx(nodes); err != nil {
+			return err
 		}
 		in[m].Sub(in[m], d)
 		out[m].Sub(out[m], d)
@@ -317,7 +357,10 @@ func (p *feasibleProblem) parallelWitness(workers int) (core.MiddleAssignment, b
 					},
 				}
 				if err := w.run(); err != nil {
-					return // only ErrSearchBudget can occur; reported at merge
+					// Budget exhaustion is reported at merge (a lower
+					// branch's witness may make it irrelevant); context
+					// cancellation is sticky and checked there too.
+					return
 				}
 				if witnesses[b] != nil {
 					// Publish and stop: higher branches cannot win.
@@ -338,6 +381,11 @@ func (p *feasibleProblem) parallelWitness(workers int) (core.MiddleAssignment, b
 	}
 	wg.Wait()
 
+	// A cancelled run discards every partial answer: cancellation is
+	// sticky, so checking once after the join covers every worker.
+	if err := p.ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	for b := 0; b < p.n; b++ {
 		if witnesses[b] != nil {
 			return witnesses[b], true, nil

@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+
 	"testing"
 
 	"closnet/internal/adversary"
@@ -264,12 +266,12 @@ func TestFeasibleRoutingParallelEquivalence(t *testing.T) {
 		queries = append(queries, query{in.Name + " sans type-3", in.Clos, in.Flows[:t3], in.MacroRates[:t3]})
 	}
 	for _, q := range queries {
-		sw, sok, err := FeasibleRouting(q.c, q.fs, q.demands, 0, 1)
+		sw, sok, err := FeasibleRouting(context.Background(), q.c, q.fs, q.demands, 0, 1)
 		if err != nil {
 			t.Fatalf("%s serial: %v", q.name, err)
 		}
 		for _, w := range parallelWorkerCounts {
-			pw, pok, err := FeasibleRouting(q.c, q.fs, q.demands, 0, w)
+			pw, pok, err := FeasibleRouting(context.Background(), q.c, q.fs, q.demands, 0, w)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", q.name, w, err)
 			}

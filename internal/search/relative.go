@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -144,11 +145,13 @@ func HillClimbRelative(c *topology.Clos, fs core.Collection, target rational.Vec
 // routing of the Clos network with the same ToR/server shape as c but m
 // middle switches. It returns (m, true) on success within maxMiddles, or
 // (0, false) if even maxMiddles middle switches do not suffice. workers
-// follows the Options.Workers policy (0 = all cores, 1 = serial).
+// follows the Options.Workers policy (0 = all cores, 1 = serial). ctx
+// bounds the whole probe: cancellation propagates into every
+// feasibility search and a cancelled probe returns ctx.Err().
 //
 // The classic conjecture (Chung–Ross [11]) places the worst case for
 // arbitrary feasible macro-switch allocations at m = 2·serversPerToR − 1.
-func MinMiddlesToRoute(c *topology.Clos, fs core.Collection, demands rational.Vec, maxMiddles, maxNodes, workers int) (int, bool, error) {
+func MinMiddlesToRoute(ctx context.Context, c *topology.Clos, fs core.Collection, demands rational.Vec, maxMiddles, maxNodes, workers int) (int, bool, error) {
 	if len(demands) != len(fs) {
 		return 0, false, fmt.Errorf("search: %d demands for %d flows", len(demands), len(fs))
 	}
@@ -164,8 +167,11 @@ func MinMiddlesToRoute(c *topology.Clos, fs core.Collection, demands rational.Ve
 		if err != nil {
 			return 0, false, err
 		}
-		_, ok, err := FeasibleRouting(cm, mapped, demands, maxNodes, workers)
+		_, ok, err := FeasibleRouting(ctx, cm, mapped, demands, maxNodes, workers)
 		if err != nil {
+			if ctx.Err() != nil {
+				return 0, false, ctx.Err()
+			}
 			return 0, false, fmt.Errorf("search: m=%d: %w", m, err)
 		}
 		if ok {

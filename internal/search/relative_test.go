@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+
 	"testing"
 
 	"closnet/internal/adversary"
@@ -158,7 +160,7 @@ func TestMinMiddlesToRouteTheorem42(t *testing.T) {
 	// With n = 3 middles the macro rates are unroutable (Theorem 4.2);
 	// the probe must find some m > 3 within the conjectured bound
 	// 2·serversPerToR − 1 = 5.
-	m, ok, err := MinMiddlesToRoute(in.Clos, in.Flows, in.MacroRates, 5, 0, 0)
+	m, ok, err := MinMiddlesToRoute(context.Background(), in.Clos, in.Flows, in.MacroRates, 5, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +176,7 @@ func TestMinMiddlesToRouteTheorem42(t *testing.T) {
 func TestMinMiddlesToRouteTrivial(t *testing.T) {
 	c := topology.MustClos(2)
 	fs := core.NewCollection(c.Source(1, 1), c.Dest(2, 1))
-	m, ok, err := MinMiddlesToRoute(c, fs, rational.VecOf(1, 1), 4, 0, 0)
+	m, ok, err := MinMiddlesToRoute(context.Background(), c, fs, rational.VecOf(1, 1), 4, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +193,7 @@ func TestMinMiddlesToRouteInsufficient(t *testing.T) {
 		c.Source(1, 1), c.Dest(2, 1),
 		c.Source(1, 2), c.Dest(3, 1),
 	)
-	m, ok, err := MinMiddlesToRoute(c, fs, rational.VecOf(1, 1, 1, 1), 1, 0, 0)
+	m, ok, err := MinMiddlesToRoute(context.Background(), c, fs, rational.VecOf(1, 1, 1, 1), 1, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,10 +205,10 @@ func TestMinMiddlesToRouteInsufficient(t *testing.T) {
 func TestMinMiddlesToRouteErrors(t *testing.T) {
 	c := topology.MustClos(2)
 	fs := core.NewCollection(c.Source(1, 1), c.Dest(2, 1))
-	if _, _, err := MinMiddlesToRoute(c, fs, rational.Vec{}, 2, 0, 0); err == nil {
+	if _, _, err := MinMiddlesToRoute(context.Background(), c, fs, rational.Vec{}, 2, 0, 0); err == nil {
 		t.Error("demand mismatch accepted")
 	}
-	if _, _, err := MinMiddlesToRoute(c, fs, rational.VecOf(1, 1), 0, 0, 0); err == nil {
+	if _, _, err := MinMiddlesToRoute(context.Background(), c, fs, rational.VecOf(1, 1), 0, 0, 0); err == nil {
 		t.Error("maxMiddles=0 accepted")
 	}
 }

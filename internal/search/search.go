@@ -17,6 +17,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -60,6 +61,12 @@ type Options struct {
 	// instrumentation; the hot path then pays a single nil check per
 	// state and allocates nothing.
 	Obs *obs.Obs
+	// Ctx, when non-nil, bounds the search: the enumeration loop polls
+	// it periodically (every ctxCheckMask+1 states per worker) and a
+	// cancelled run returns ctx.Err() with the partial incumbent
+	// discarded — no Result escapes a cancelled search, for any worker
+	// count. nil means context.Background() (never cancelled).
+	Ctx context.Context
 }
 
 func (o Options) maxStates() int {
@@ -67,6 +74,13 @@ func (o Options) maxStates() int {
 		return DefaultMaxStates
 	}
 	return o.MaxStates
+}
+
+func (o Options) context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // Result is an optimizer outcome: the best assignment found, its max-min

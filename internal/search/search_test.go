@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -176,7 +178,7 @@ func TestFeasibleRoutingWitness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ma, ok, err := FeasibleRouting(in.Clos, in.Flows, in.WitnessRates, 0, 0)
+	ma, ok, err := FeasibleRouting(context.Background(), in.Clos, in.Flows, in.WitnessRates, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +203,7 @@ func TestFeasibleRoutingTheorem42(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, ok, err := FeasibleRouting(in.Clos, in.Flows, in.MacroRates, 0, 0)
+		_, ok, err := FeasibleRouting(context.Background(), in.Clos, in.Flows, in.MacroRates, 0, 0)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -225,7 +227,7 @@ func TestFeasibleRoutingDropType3(t *testing.T) {
 	}
 	fs := append(core.Collection{}, in.Flows[:t3[0]]...)
 	demands := append(rational.Vec{}, in.MacroRates[:t3[0]]...)
-	ma, ok, err := FeasibleRouting(in.Clos, fs, demands, 0, 0)
+	ma, ok, err := FeasibleRouting(context.Background(), in.Clos, fs, demands, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +313,7 @@ func TestFeasibleRoutingServerOverload(t *testing.T) {
 		Add(c.Source(1, 1), c.Dest(2, 1), 1)
 	// Total demand 3/2 on the shared source link: infeasible regardless
 	// of routing.
-	_, ok, err := FeasibleRouting(c, fs, rational.VecOf(1, 1, 1, 2), 0, 0)
+	_, ok, err := FeasibleRouting(context.Background(), c, fs, rational.VecOf(1, 1, 1, 2), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,14 +325,14 @@ func TestFeasibleRoutingServerOverload(t *testing.T) {
 func TestFeasibleRoutingErrors(t *testing.T) {
 	c := topology.MustClos(2)
 	fs := core.NewCollection(c.Source(1, 1), c.Dest(1, 1))
-	if _, _, err := FeasibleRouting(c, fs, rational.Vec{}, 0, 0); err == nil {
+	if _, _, err := FeasibleRouting(context.Background(), c, fs, rational.Vec{}, 0, 0); err == nil {
 		t.Error("demand length mismatch accepted")
 	}
-	if _, _, err := FeasibleRouting(c, fs, rational.VecOf(-1, 2), 0, 0); err == nil {
+	if _, _, err := FeasibleRouting(context.Background(), c, fs, rational.VecOf(-1, 2), 0, 0); err == nil {
 		t.Error("negative demand accepted")
 	}
 	bad := core.Collection{{Src: c.Input(1), Dst: c.Dest(1, 1)}}
-	if _, _, err := FeasibleRouting(c, bad, rational.VecOf(1, 2), 0, 0); err == nil {
+	if _, _, err := FeasibleRouting(context.Background(), c, bad, rational.VecOf(1, 2), 0, 0); err == nil {
 		t.Error("non-server source accepted")
 	}
 }

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated is returned by the admitter when both the worker pool
+// and the wait queue are full; the HTTP layer maps it to
+// 429 Too Many Requests with a Retry-After hint.
+var errSaturated = errors.New("server: worker pool and wait queue are full")
+
+// admitter is the admission controller: a bounded worker pool (at most
+// workers computations run concurrently) fronted by a bounded wait
+// queue (at most queueDepth requests may block for a slot). Anything
+// beyond that is rejected immediately — a saturated service answers
+// fast with 429 rather than slowly with a timeout, and shedding at the
+// door keeps the search engine's cores for requests that will still be
+// wanted when they finish.
+type admitter struct {
+	slots      chan struct{}
+	queueDepth int64
+	waiting    atomic.Int64
+	rejects    atomic.Int64
+}
+
+func newAdmitter(workers, queueDepth int) *admitter {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admitter{
+		slots:      make(chan struct{}, workers),
+		queueDepth: int64(queueDepth),
+	}
+}
+
+// acquire claims a worker slot, waiting in the bounded queue when the
+// pool is busy. It returns errSaturated when the queue is full, or
+// ctx.Err() when the request's deadline expires while queued. On nil
+// return the caller owns a slot and must release it.
+func (a *admitter) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.queueDepth {
+		a.waiting.Add(-1)
+		a.rejects.Add(1)
+		return errSaturated
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot to the pool.
+func (a *admitter) release() {
+	<-a.slots
+}
+
+// queued returns the number of requests currently waiting for a slot.
+func (a *admitter) queued() int64 { return a.waiting.Load() }
+
+// inFlight returns the number of slots currently held.
+func (a *admitter) inFlight() int { return len(a.slots) }

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent computations of the same cache key
+// into one: the first request to arrive becomes the leader and
+// computes; every request that arrives while the leader is in flight
+// becomes a follower and receives the leader's exact result bytes.
+// This is the classic singleflight pattern (stdlib-only — no
+// golang.org/x dependency), specialized to immutable response bodies.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[cacheKey]*flightCall
+}
+
+// flightCall is one in-flight computation. done is closed exactly once,
+// after body/status/err are set; followers only read them after <-done.
+type flightCall struct {
+	done   chan struct{}
+	body   []byte
+	status int
+	err    error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[cacheKey]*flightCall)}
+}
+
+// join registers interest in key. The first caller per key gets
+// leader=true and must eventually call finish (even on error); later
+// callers get leader=false and the call to wait on.
+func (g *flightGroup) join(key cacheKey) (call *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result and releases every follower.
+// The key is removed before done is closed, so a request arriving after
+// finish starts a fresh flight (it will normally hit the cache first).
+func (g *flightGroup) finish(key cacheKey, call *flightCall, body []byte, status int, err error) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	call.body, call.status, call.err = body, status, err
+	close(call.done)
+}
+
+// wait blocks until the leader finishes or the follower's own context
+// expires, whichever is first. A follower abandoning the wait does not
+// disturb the leader: the computation keeps running for everyone else.
+func (c *flightCall) wait(ctx context.Context) ([]byte, int, error) {
+	select {
+	case <-c.done:
+		return c.body, c.status, c.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}

@@ -1,0 +1,692 @@
+// Package server is the scenario-evaluation service behind the
+// closnetd daemon: an HTTP JSON API (stdlib net/http only) that accepts
+// codec.Scenario payloads and serves max-min fair allocations
+// (POST /v1/evaluate), exhaustive routing search (POST /v1/search) and
+// Doom-Switch routing (POST /v1/doom), plus /healthz, /readyz and
+// /v1/stats.
+//
+// The serving core is three cooperating layers:
+//
+//   - a content-addressed result cache: scenarios are canonicalized and
+//     hashed (codec.Canonical + codec.Hash) and finished response
+//     bodies are stored in a size-bounded LRU, so a repeated instance
+//     returns in microseconds with bytes identical to a cold run;
+//   - singleflight coalescing: N concurrent requests for the same
+//     content address trigger exactly one computation, whose bytes are
+//     shared with every waiter;
+//   - admission control: a bounded worker pool and a bounded wait
+//     queue, with fast 429 + Retry-After rejection when both are full,
+//     and a per-request deadline that propagates context.Context
+//     cancellation into the search engine so abandoned requests stop
+//     burning cores.
+//
+// Determinism: every computation runs on the canonical form of the
+// scenario, so all semantically equal requests — any flow order, any
+// rate-string spelling — produce one canonical response body, computed
+// once and replayed byte-identically from the cache or the flight
+// group. All rate arithmetic stays exact; no floats cross the API.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"closnet/internal/codec"
+	"closnet/internal/core"
+	"closnet/internal/doom"
+	"closnet/internal/obs"
+	"closnet/internal/rational"
+	"closnet/internal/search"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultQueueDepth = 64
+	DefaultCacheSize  = 1024
+	DefaultTimeout    = 30 * time.Second
+	DefaultMaxBody    = 1 << 20
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds the number of concurrently computing requests
+	// (0 = one per available core). This is the serving-layer pool the
+	// admission controller guards.
+	Workers int
+	// QueueDepth bounds how many admitted-but-waiting requests may
+	// block for a worker slot (0 = DefaultQueueDepth, negative = no
+	// queue: reject the moment the pool is full).
+	QueueDepth int
+	// CacheSize bounds the result cache in entries (0 =
+	// DefaultCacheSize, negative = caching disabled — the cold-path
+	// configuration of the loadgen benchmark).
+	CacheSize int
+	// Timeout is the per-request compute deadline (0 = DefaultTimeout,
+	// negative = none). It parents the request's own context, so client
+	// disconnects cancel the computation too.
+	Timeout time.Duration
+	// SearchWorkers is the enumeration worker count each /v1/search
+	// request uses (0 = 1, the serving default: parallelism comes from
+	// serving many requests, and results are bit-identical for every
+	// setting anyway).
+	SearchWorkers int
+	// MaxStates caps each /v1/search enumeration
+	// (0 = search.DefaultMaxStates).
+	MaxStates int
+	// MaxBody bounds request bodies in bytes (0 = DefaultMaxBody).
+	MaxBody int64
+	// Obs attaches the observability layer: request/cache/coalesce/
+	// reject counters, a request latency timer, and a journal event per
+	// request. nil creates a private registry so /v1/stats always
+	// reports.
+	Obs *obs.Obs
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o Options) queueDepth() int {
+	switch {
+	case o.QueueDepth == 0:
+		return DefaultQueueDepth
+	case o.QueueDepth < 0:
+		return 0
+	}
+	return o.QueueDepth
+}
+
+func (o Options) cacheSize() int {
+	switch {
+	case o.CacheSize == 0:
+		return DefaultCacheSize
+	case o.CacheSize < 0:
+		return 0
+	}
+	return o.CacheSize
+}
+
+func (o Options) timeout() time.Duration {
+	switch {
+	case o.Timeout == 0:
+		return DefaultTimeout
+	case o.Timeout < 0:
+		return 0
+	}
+	return o.Timeout
+}
+
+func (o Options) searchWorkers() int {
+	if o.SearchWorkers <= 0 {
+		return 1
+	}
+	return o.SearchWorkers
+}
+
+func (o Options) maxBody() int64 {
+	if o.MaxBody <= 0 {
+		return DefaultMaxBody
+	}
+	return o.MaxBody
+}
+
+// Server is the scenario-evaluation service. Create with New, expose
+// via Handler, stop with Drain.
+type Server struct {
+	opts   Options
+	mux    *http.ServeMux
+	cache  *resultCache
+	flight *flightGroup
+	admit  *admitter
+	obs    *obs.Obs
+	start  time.Time
+
+	// mu guards the drain state. An RWMutex held across requests would
+	// be simpler, but a waiting writer blocks new readers, which would
+	// stall the fast 503 we owe post-drain arrivals — so the in-flight
+	// barrier is an explicit counter plus a close-once channel.
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	drained  chan struct{}
+
+	mRequests  *obs.Counter
+	mHits      *obs.Counter
+	mMisses    *obs.Counter
+	mCoalesced *obs.Counter
+	mRejects   *obs.Counter
+	mErrors    *obs.Counter
+	mLatency   *obs.Timer
+
+	// computeStarted, when non-nil, runs on the flight leader after
+	// admission and before the computation — a test hook for making
+	// coalescing and drain scenarios deterministic.
+	computeStarted func(op string)
+}
+
+// New builds a Server from opts.
+func New(opts Options) *Server {
+	o := opts.Obs
+	if o.Registry() == nil {
+		// /v1/stats always reports, even when the daemon runs without
+		// -metrics; a journal is only attached when the caller brings one.
+		o = &obs.Obs{Reg: obs.NewRegistry(), J: o.Journal()}
+	}
+	reg := o.Registry()
+	s := &Server{
+		opts:       opts,
+		mux:        http.NewServeMux(),
+		drained:    make(chan struct{}),
+		cache:      newResultCache(opts.cacheSize()),
+		flight:     newFlightGroup(),
+		admit:      newAdmitter(opts.workers(), opts.queueDepth()),
+		obs:        o,
+		start:      time.Now(),
+		mRequests:  reg.Counter("server.requests"),
+		mHits:      reg.Counter("server.cache.hits"),
+		mMisses:    reg.Counter("server.cache.misses"),
+		mCoalesced: reg.Counter("server.coalesced"),
+		mRejects:   reg.Counter("server.rejects"),
+		mErrors:    reg.Counter("server.errors"),
+		mLatency:   reg.Timer("server.latency"),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/evaluate", s.handleCompute("evaluate"))
+	s.mux.HandleFunc("/v1/search", s.handleCompute("search"))
+	s.mux.HandleFunc("/v1/doom", s.handleCompute("doom"))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully stops the service: new compute requests are refused
+// with 503 while every in-flight request runs to completion. It returns
+// when the last in-flight request finished, or ctx.Err() if ctx expires
+// first (in-flight requests then still complete in the background;
+// their per-request deadlines bound how long that takes).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 {
+		s.closeDrainedLocked()
+	}
+	s.mu.Unlock()
+	s.obs.Journal().Emit("server.drain", nil)
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// beginRequest admits one compute request past the drain gate; a false
+// return means the server is draining and the request gets a fast 503.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) endRequest() {
+	s.mu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 {
+		s.closeDrainedLocked()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// closeDrainedLocked closes the drain barrier exactly once; callers
+// hold s.mu.
+func (s *Server) closeDrainedLocked() {
+	select {
+	case <-s.drained:
+	default:
+		close(s.drained)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.isDraining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// statsResponse is the /v1/stats schema.
+type statsResponse struct {
+	UptimeMs int64 `json:"uptime_ms"`
+	Draining bool  `json:"draining"`
+	Cache    struct {
+		Entries  int `json:"entries"`
+		Capacity int `json:"capacity"`
+	} `json:"cache"`
+	Admission struct {
+		Workers    int   `json:"workers"`
+		QueueDepth int   `json:"queue_depth"`
+		InFlight   int   `json:"in_flight"`
+		Queued     int64 `json:"queued"`
+	} `json:"admission"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	resp.UptimeMs = time.Since(s.start).Milliseconds()
+	resp.Draining = s.isDraining()
+	resp.Cache.Entries = s.cache.len()
+	resp.Cache.Capacity = s.opts.cacheSize()
+	resp.Admission.Workers = s.opts.workers()
+	resp.Admission.QueueDepth = s.opts.queueDepth()
+	resp.Admission.InFlight = s.admit.inFlight()
+	resp.Admission.Queued = s.admit.queued()
+	resp.Metrics = s.obs.Registry().Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// apiError is the JSON error body of every non-200 compute response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func errorBody(msg string) []byte {
+	b, _ := json.Marshal(apiError{Error: msg})
+	return append(b, '\n')
+}
+
+// handleCompute wraps one compute endpoint with the full serving
+// pipeline: drain gate → decode → canonicalize/hash → cache →
+// singleflight → admission → deadline-bounded compute → cache fill.
+func (s *Server) handleCompute(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.reply(w, endpoint, http.StatusMethodNotAllowed, errorBody("POST only"), "", start)
+			return
+		}
+		if !s.beginRequest() {
+			s.reply(w, endpoint, http.StatusServiceUnavailable, errorBody("draining"), "", start)
+			return
+		}
+		defer s.endRequest()
+
+		op, err := resolveOp(endpoint, r)
+		if err != nil {
+			s.reply(w, endpoint, http.StatusBadRequest, errorBody(err.Error()), "", start)
+			return
+		}
+		body, releaseBody, err := readBody(w, r, s.opts.maxBody())
+		if err != nil {
+			s.reply(w, endpoint, http.StatusRequestEntityTooLarge, errorBody("request body too large"), "", start)
+			return
+		}
+		defer releaseBody()
+		// Request-identity fast path: a byte-identical replay of an
+		// already-answered request needs no JSON decoding at all.
+		rawKey := cacheKey{op: "raw:" + op, hash: sha256.Sum256(body)}
+		if cached, ok := s.cache.get(rawKey); ok {
+			s.mHits.Inc()
+			s.reply(w, op, http.StatusOK, cached, "hit", start)
+			return
+		}
+
+		scen, err := codec.Decode(body)
+		if err != nil {
+			s.reply(w, endpoint, http.StatusBadRequest, errorBody(err.Error()), "", start)
+			return
+		}
+		canon, hash, err := codec.CanonicalHash(scen)
+		if err != nil {
+			s.reply(w, endpoint, http.StatusBadRequest, errorBody(err.Error()), "", start)
+			return
+		}
+		key := cacheKey{op: op, hash: hash}
+
+		if cached, ok := s.cache.get(key); ok {
+			s.mHits.Inc()
+			s.cache.put(rawKey, cached)
+			s.reply(w, op, http.StatusOK, cached, "hit", start)
+			return
+		}
+		s.mMisses.Inc()
+
+		call, leader := s.flight.join(key)
+		if !leader {
+			s.mCoalesced.Inc()
+			respBody, status, err := call.wait(r.Context())
+			if err != nil {
+				s.reply(w, op, http.StatusServiceUnavailable, errorBody(err.Error()), "", start)
+				return
+			}
+			s.reply(w, op, status, respBody, "coalesced", start)
+			return
+		}
+
+		status, respBody := s.lead(r.Context(), call, key, op, canon, hash)
+		if status == http.StatusOK {
+			s.cache.put(rawKey, respBody)
+		}
+		s.reply(w, op, status, respBody, "miss", start)
+	}
+}
+
+// lead runs the leader's side of a flight: admission, deadline-bounded
+// compute, cache fill, flight publication. It always finishes the
+// flight — including on rejection and error — so followers never block
+// past the leader's exit; a leader's 429 is shared with its followers,
+// which is exactly the load-shedding semantics we want (the work they
+// were waiting for is not going to happen).
+func (s *Server) lead(reqCtx context.Context, call *flightCall, key cacheKey, op string, canon *codec.Scenario, hash [32]byte) (int, []byte) {
+	if err := s.admit.acquire(reqCtx); err != nil {
+		var status int
+		var body []byte
+		if errors.Is(err, errSaturated) {
+			s.mRejects.Inc()
+			status, body = http.StatusTooManyRequests, errorBody("server saturated; retry later")
+		} else {
+			status, body = http.StatusServiceUnavailable, errorBody(err.Error())
+		}
+		s.flight.finish(key, call, body, status, nil)
+		return status, body
+	}
+	defer s.admit.release()
+	if s.computeStarted != nil {
+		s.computeStarted(op)
+	}
+
+	ctx := reqCtx
+	if t := s.opts.timeout(); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(reqCtx, t)
+		defer cancel()
+	}
+	body, err := s.compute(ctx, op, canon, hash)
+	status := http.StatusOK
+	if err != nil {
+		status, body = mapComputeError(err)
+	} else {
+		s.cache.put(key, body)
+	}
+	s.flight.finish(key, call, body, status, nil)
+	return status, body
+}
+
+// mapComputeError maps a computation failure to its HTTP shape:
+// deadline → 504, client-gone → 503, resource caps and semantic
+// scenario problems → 422 (the request was well-formed JSON — that was
+// already settled at decode time — but this instance cannot be served).
+func mapComputeError(err error) (int, []byte) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, errorBody("compute deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, errorBody("request cancelled")
+	}
+	return http.StatusUnprocessableEntity, errorBody(err.Error())
+}
+
+// bodyPool recycles request-body buffers: on the cache-hit fast path
+// the body is only hashed and compared, never retained (json.Unmarshal
+// copies every string it keeps), so per-request buffer allocation is
+// pure overhead. Stored as *[]byte to keep the pool pointer-shaped.
+var bodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 32<<10); return &b }}
+
+// readBody reads the full request body into a pooled buffer. The
+// returned slice is valid until release is called — callers must not
+// retain it past the request.
+func readBody(w http.ResponseWriter, r *http.Request, max int64) (body []byte, release func(), err error) {
+	buf := bodyPool.Get().(*[]byte)
+	release = func() { *buf = (*buf)[:0]; bodyPool.Put(buf) }
+	lr := http.MaxBytesReader(w, r.Body, max)
+	b := *buf
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, rerr := lr.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if rerr == io.EOF {
+			*buf = b
+			return b, release, nil
+		}
+		if rerr != nil {
+			*buf = b
+			release()
+			return nil, func() {}, rerr
+		}
+	}
+}
+
+// resolveOp maps an endpoint plus its result-shaping query parameters
+// to the cache-key operation string.
+func resolveOp(endpoint string, r *http.Request) (string, error) {
+	if endpoint != "search" {
+		return endpoint, nil
+	}
+	objective := r.URL.Query().Get("objective")
+	if objective == "" {
+		objective = "lex"
+	}
+	switch objective {
+	case "lex", "throughput", "relative":
+		return "search:" + objective, nil
+	}
+	return "", fmt.Errorf("unknown objective %q (lex, throughput, relative)", r.URL.Query().Get("objective"))
+}
+
+// reply writes one response and records it: request counter, latency
+// timer, journal event. cacheState is "hit", "miss", "coalesced" or ""
+// (no cache interaction).
+func (s *Server) reply(w http.ResponseWriter, op string, status int, body []byte, cacheState string, start time.Time) {
+	s.mRequests.Inc()
+	if status >= 500 || status == http.StatusBadRequest {
+		s.mErrors.Inc()
+	}
+	elapsed := time.Since(start)
+	s.mLatency.Observe(elapsed)
+	w.Header().Set("Content-Type", "application/json")
+	if cacheState != "" {
+		w.Header().Set("X-Closnet-Cache", cacheState)
+	}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+	s.obs.Journal().Emit("server.request", obs.F{
+		"op": op, "status": status, "cache": cacheState, "elapsed_ns": elapsed.Nanoseconds(),
+	})
+}
+
+// compute dispatches one admitted, deadline-bounded computation.
+func (s *Server) compute(ctx context.Context, op string, canon *codec.Scenario, hash [32]byte) ([]byte, error) {
+	switch op {
+	case "evaluate":
+		return s.computeEvaluate(canon, hash)
+	case "search:lex", "search:throughput", "search:relative":
+		return s.computeSearch(ctx, op, canon, hash)
+	case "doom":
+		return s.computeDoom(canon, hash)
+	}
+	return nil, fmt.Errorf("unknown op %q", op)
+}
+
+// evalResponse is the /v1/evaluate schema: the max-min fair allocation
+// of the canonical scenario under its embedded routing (uniform middle
+// 1 when absent), in canonical flow order.
+type evalResponse struct {
+	Hash       string   `json:"hash"`
+	Flows      int      `json:"flows"`
+	Assignment []int    `json:"assignment"`
+	Rates      []string `json:"rates"`
+	Throughput string   `json:"throughput"`
+}
+
+func (s *Server) computeEvaluate(canon *codec.Scenario, hash [32]byte) ([]byte, error) {
+	c, fs, _, ma, err := canon.Build()
+	if err != nil {
+		return nil, err
+	}
+	if ma == nil {
+		ma = core.UniformAssignment(len(fs), 1)
+	}
+	a, err := core.ClosMaxMinFair(c, fs, ma)
+	if err != nil {
+		return nil, err
+	}
+	resp := evalResponse{
+		Hash:       hex.EncodeToString(hash[:]),
+		Flows:      len(fs),
+		Assignment: []int(ma),
+		Rates:      rateStrings(a),
+		Throughput: rational.String(core.Throughput(a)),
+	}
+	return marshalBody(resp)
+}
+
+// searchResponse is the /v1/search schema: the optimal routing under
+// the requested objective, in canonical flow order.
+type searchResponse struct {
+	Hash       string   `json:"hash"`
+	Objective  string   `json:"objective"`
+	Assignment []int    `json:"assignment"`
+	Rates      []string `json:"rates"`
+	Throughput string   `json:"throughput"`
+	MinRatio   string   `json:"minRatio,omitempty"`
+	States     int      `json:"states"`
+}
+
+func (s *Server) computeSearch(ctx context.Context, op string, canon *codec.Scenario, hash [32]byte) ([]byte, error) {
+	c, fs, demands, _, err := canon.Build()
+	if err != nil {
+		return nil, err
+	}
+	opts := search.Options{
+		MaxStates: s.opts.MaxStates,
+		Workers:   s.opts.searchWorkers(),
+		Obs:       s.obs,
+		Ctx:       ctx,
+	}
+	resp := searchResponse{Hash: hex.EncodeToString(hash[:])}
+	switch op {
+	case "search:lex":
+		res, err := search.LexMaxMin(c, fs, opts)
+		if err != nil {
+			return nil, err
+		}
+		resp.Objective = "lex"
+		resp.Assignment, resp.Rates = []int(res.Assignment), rateStrings(res.Allocation)
+		resp.Throughput = rational.String(core.Throughput(res.Allocation))
+		resp.States = res.States
+	case "search:throughput":
+		res, err := search.ThroughputMaxMin(c, fs, opts)
+		if err != nil {
+			return nil, err
+		}
+		resp.Objective = "throughput"
+		resp.Assignment, resp.Rates = []int(res.Assignment), rateStrings(res.Allocation)
+		resp.Throughput = rational.String(core.Throughput(res.Allocation))
+		resp.States = res.States
+	case "search:relative":
+		if demands == nil {
+			return nil, errors.New("objective \"relative\" needs scenario demands as targets")
+		}
+		res, err := search.RelativeMaxMin(c, fs, demands, opts)
+		if err != nil {
+			return nil, err
+		}
+		resp.Objective = "relative"
+		resp.Assignment, resp.Rates = []int(res.Assignment), rateStrings(res.Allocation)
+		resp.Throughput = rational.String(core.Throughput(res.Allocation))
+		resp.MinRatio = rational.String(res.MinRatio)
+		resp.States = res.States
+	}
+	return marshalBody(resp)
+}
+
+// doomResponse is the /v1/doom schema: Algorithm 1's routing and its
+// max-min fair allocation, in canonical flow order.
+type doomResponse struct {
+	Hash       string   `json:"hash"`
+	Assignment []int    `json:"assignment"`
+	DoomMiddle int      `json:"doomMiddle"`
+	Matched    int      `json:"matched"`
+	Rates      []string `json:"rates"`
+	Throughput string   `json:"throughput"`
+}
+
+func (s *Server) computeDoom(canon *codec.Scenario, hash [32]byte) ([]byte, error) {
+	c, fs, _, _, err := canon.Build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := doom.RouteWithObs(c, fs, doom.LeastLoaded(), s.obs)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.ClosMaxMinFair(c, fs, res.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	resp := doomResponse{
+		Hash:       hex.EncodeToString(hash[:]),
+		Assignment: []int(res.Assignment),
+		DoomMiddle: res.DoomMiddle,
+		Matched:    res.MatchedCount(),
+		Rates:      rateStrings(a),
+		Throughput: rational.String(core.Throughput(a)),
+	}
+	return marshalBody(resp)
+}
+
+func rateStrings(a core.Allocation) []string {
+	out := make([]string, len(a))
+	for i, r := range a {
+		out[i] = rational.String(r)
+	}
+	return out
+}
+
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
