@@ -26,8 +26,10 @@ import (
 	"math/big"
 
 	"closnet/internal/adversary"
+	"closnet/internal/codec"
 	"closnet/internal/core"
 	"closnet/internal/doom"
+	"closnet/internal/engine"
 	"closnet/internal/experiments"
 	"closnet/internal/lp"
 	"closnet/internal/rational"
@@ -105,6 +107,45 @@ const (
 	Type2b = adversary.Type2b
 	Type3  = adversary.Type3
 )
+
+// Engine layer: the typed op registry every transport (HTTP handlers,
+// CLI tools, batch sweeps) dispatches through. The facade re-exports it
+// so library users share the exact entry point — and response bytes —
+// of the closnetd service instead of a fourth compute spelling.
+type (
+	// Engine dispatches compute requests through the op registry.
+	Engine = engine.Engine
+	// EngineOptions configures an Engine.
+	EngineOptions = engine.Options
+	// EngineRequest names one operation over one scenario.
+	EngineRequest = engine.Request
+	// EngineResponse is one computed result with its content address.
+	EngineResponse = engine.Response
+	// EngineBatchResult is one slot of an Engine.RunBatch outcome.
+	EngineBatchResult = engine.BatchResult
+	// Scenario is the transport-independent instance encoding every
+	// engine op computes over.
+	Scenario = codec.Scenario
+)
+
+// Engine op names.
+const (
+	OpEvaluate         = engine.OpEvaluate
+	OpSearchLex        = engine.OpSearchLex
+	OpSearchThroughput = engine.OpSearchThroughput
+	OpSearchRelative   = engine.OpSearchRelative
+	OpDoom             = engine.OpDoom
+)
+
+// NewEngine builds the compute engine with the standard op registry
+// (evaluate, search:lex, search:throughput, search:relative, doom).
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// ScenarioFromInstance encodes an adversarial instance as the scenario
+// form the engine ops take.
+func ScenarioFromInstance(in *AdversarialInstance) (*Scenario, error) {
+	return codec.FromInstance(in)
+}
 
 // NewClos builds the Clos network C_n (§2.1): n middle switches, 2n
 // input/output ToR switches, n servers per ToR, unit capacities.

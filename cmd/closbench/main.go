@@ -29,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +40,7 @@ import (
 
 	"closnet/internal/adversary"
 	"closnet/internal/core"
+	"closnet/internal/engine"
 	"closnet/internal/obs"
 	"closnet/internal/search"
 	"closnet/internal/topology"
@@ -191,8 +193,12 @@ func run(args []string) error {
 		}
 	}()
 	o := orun.Obs
-	withObs := func(opts search.Options) search.Options {
-		opts.Obs = o
+	// The engine is the one place search options are assembled; each
+	// bench tweaks only its space and worker count.
+	eng := engine.New(engine.Options{Obs: o})
+	searchOpts := func(fullSpace bool, workers int) search.Options {
+		opts := eng.SearchOptions(context.Background())
+		opts.FullSpace, opts.Workers = fullSpace, workers
 		return opts
 	}
 
@@ -216,23 +222,23 @@ func run(args []string) error {
 		return err
 	}
 	serialFull, err := benchLexSearch("LexSearchFullExample23",
-		ex.Clos, ex.Flows, withObs(search.Options{FullSpace: true, Workers: 1}))
+		ex.Clos, ex.Flows, searchOpts(true, 1))
 	if err != nil {
 		return err
 	}
 	serialCanon, err := benchLexSearch("LexSearchCanonicalExample23",
-		ex.Clos, ex.Flows, withObs(search.Options{Workers: 1}))
+		ex.Clos, ex.Flows, searchOpts(false, 1))
 	if err != nil {
 		return err
 	}
 	rep.Benches = append(rep.Benches, serialFull, serialCanon)
 
 	c5, fs5 := benchInstance(5, 7)
-	fullC5, err := benchLexSearch("LexSearchFullC5", c5, fs5, withObs(search.Options{FullSpace: true}))
+	fullC5, err := benchLexSearch("LexSearchFullC5", c5, fs5, searchOpts(true, 0))
 	if err != nil {
 		return err
 	}
-	canonC5, err := benchLexSearch("LexSearchCanonicalC5", c5, fs5, withObs(search.Options{}))
+	canonC5, err := benchLexSearch("LexSearchCanonicalC5", c5, fs5, searchOpts(false, 0))
 	if err != nil {
 		return err
 	}

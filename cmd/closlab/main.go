@@ -13,10 +13,11 @@
 // Experiment IDs follow DESIGN.md's per-experiment index: F1, F2, T1,
 // F3, T2, F4, T3, S1, S1b, S2, P1, E1, R1, M1, D1, O1, A1.
 //
-// -workers sets the enumeration worker count for every exhaustive
-// routing-space search an experiment launches (0 = one worker per core,
-// 1 = serial). The tables are bit-identical for every setting; only
-// wall-clock time changes.
+// The shared engine flags (internal/engine): -workers sets the
+// enumeration worker count for every exhaustive routing-space search an
+// experiment launches (0 = one worker per core, 1 = serial) and
+// -max-states caps each enumeration. The tables are bit-identical for
+// every setting; only wall-clock time changes.
 //
 // The shared observability flags (internal/obs): -metrics prints live
 // search progress and a final metrics summary on stderr, -trace writes
@@ -30,6 +31,7 @@ import (
 	"os"
 
 	"closnet"
+	"closnet/internal/engine"
 	"closnet/internal/experiments"
 	"closnet/internal/obs"
 )
@@ -44,23 +46,22 @@ func main() {
 func run(args []string) error {
 	fl := flag.NewFlagSet("closlab", flag.ContinueOnError)
 	var (
-		list    = fl.Bool("list", false, "list available experiments")
-		exp     = fl.String("exp", "", "experiment ID to run (e.g. F1, T3)")
-		all     = fl.Bool("all", false, "run every experiment")
-		csv     = fl.Bool("csv", false, "emit CSV instead of aligned text")
-		js      = fl.Bool("json", false, "emit JSON instead of aligned text")
-		workers = fl.Int("workers", 0, "routing-space search workers (0 = all cores, 1 = serial)")
-		ob      = obs.AddFlags(fl)
+		list = fl.Bool("list", false, "list available experiments")
+		exp  = fl.String("exp", "", "experiment ID to run (e.g. F1, T3)")
+		all  = fl.Bool("all", false, "run every experiment")
+		csv  = fl.Bool("csv", false, "emit CSV instead of aligned text")
+		js   = fl.Bool("json", false, "emit JSON instead of aligned text")
+		ef   = engine.AddFlags(fl)
+		ob   = obs.AddFlags(fl)
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
-	experiments.SearchWorkers = *workers
 	orun, err := ob.Start("closlab", os.Stderr)
 	if err != nil {
 		return err
 	}
-	experiments.Obs = orun.Obs
+	experiments.Engine = ef.Engine(orun.Obs)
 	defer func() {
 		if cerr := orun.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "closlab:", cerr)

@@ -14,8 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"closnet"
-	"closnet/internal/codec"
+	"closnet/internal/corpus"
 	"closnet/internal/obs"
 	"closnet/internal/server"
 )
@@ -41,13 +40,13 @@ func runLoadgen(args []string, stdout, stderr io.Writer) error {
 		cold     = fl.Bool("cold", false, "disable the in-process server's result cache (measure the compute path)")
 		workers  = fl.Int("workers", 0, "in-process server worker pool (0 = one per core)")
 		families = fl.String("corpus", "theorem42,theorem43",
-			"comma-separated corpus families (theorem34k2, theorem34k8, theorem42, theorem43)")
+			"comma-separated corpus families ("+strings.Join(corpus.Families(), ", ")+")")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
 	}
 
-	corpus, names, err := buildCorpus(*n, strings.Split(*families, ","))
+	bodies, names, err := corpus.Build(*n, strings.Split(*families, ","))
 	if err != nil {
 		return err
 	}
@@ -60,11 +59,14 @@ func runLoadgen(args []string, stdout, stderr io.Writer) error {
 			cacheSize = -1
 		}
 		reg = obs.NewRegistry()
-		srv := server.New(server.Options{
+		srv, err := server.New(server.Options{
 			Workers:   *workers,
 			CacheSize: cacheSize,
 			Obs:       &obs.Obs{Reg: reg},
 		})
+		if err != nil {
+			return err
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -89,13 +91,13 @@ func runLoadgen(args []string, stdout, stderr io.Writer) error {
 	// One sequential pass over the corpus outside the measurement
 	// window: fills the cache on the warm path and establishes
 	// connections on both.
-	for _, body := range corpus {
+	for _, body := range bodies {
 		if _, _, err := fire(client, target, body); err != nil {
 			return fmt.Errorf("warmup: %w", err)
 		}
 	}
 
-	res := drive(client, target, corpus, *conns, *rps, *requests, *duration)
+	res := drive(client, target, bodies, *conns, *rps, *requests, *duration)
 
 	pacing := "closed loop"
 	if *rps > 0 {
@@ -224,45 +226,4 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 		i = len(sorted) - 1
 	}
 	return sorted[i].Round(time.Microsecond)
-}
-
-// buildCorpus encodes the paper's adversarial families over C_n as
-// scenario payloads: the Theorem 3.4 gadget at two multiplicities, the
-// Theorem 4.2 replication-impossibility collection, and the Theorem 4.3
-// starvation collection (the heavyweight: n(n-1)(n+1) + 2n + n(n-1) + 1
-// flows).
-func buildCorpus(n int, want []string) ([][]byte, []string, error) {
-	builders := map[string]func() (*closnet.AdversarialInstance, error){
-		"theorem34k2": func() (*closnet.AdversarialInstance, error) { return closnet.Theorem34(n, 2) },
-		"theorem34k8": func() (*closnet.AdversarialInstance, error) { return closnet.Theorem34(n, 8) },
-		"theorem42":   func() (*closnet.AdversarialInstance, error) { return closnet.Theorem42(n) },
-		"theorem43":   func() (*closnet.AdversarialInstance, error) { return closnet.Theorem43(n) },
-	}
-	var corpus [][]byte
-	var names []string
-	for _, raw := range want {
-		name := strings.TrimSpace(raw)
-		if name == "" {
-			continue
-		}
-		build, ok := builders[name]
-		if !ok {
-			return nil, nil, fmt.Errorf("unknown corpus family %q", name)
-		}
-		in, err := build()
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", name, err)
-		}
-		s, err := codec.FromInstance(in)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", name, err)
-		}
-		data, err := codec.Encode(s)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", name, err)
-		}
-		corpus = append(corpus, data)
-		names = append(names, name)
-	}
-	return corpus, names, nil
 }

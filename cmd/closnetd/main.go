@@ -12,7 +12,9 @@
 //
 // Endpoints: POST /v1/evaluate, POST /v1/search?objective=lex|
 // throughput|relative, POST /v1/doom (all take a codec.Scenario JSON
-// body), GET /healthz, GET /readyz, GET /v1/stats.
+// body), POST /v1/batch (a {"op": ..., "items": [{"scenario": ...},
+// ...]} envelope answered with the concatenated single-call bodies in
+// request order), GET /healthz, GET /readyz, GET /v1/stats.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight requests
 // finish, new ones get fast 503s, then the listener closes.
@@ -83,7 +85,7 @@ func serve(ctx context.Context, args []string, stderr io.Writer) error {
 		}
 	}()
 
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		Workers:       *workers,
 		QueueDepth:    noneIfZero(*queue),
 		CacheSize:     noneIfZero(*cache),
@@ -92,6 +94,9 @@ func serve(ctx context.Context, args []string, stderr io.Writer) error {
 		MaxStates:     *maxStates,
 		Obs:           orun.Obs,
 	})
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

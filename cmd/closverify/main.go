@@ -10,6 +10,15 @@
 //	closverify -workers 1    force the serial feasibility search
 //	closverify -cpuprofile cpu.pprof -memprofile mem.pprof
 //	closverify -metrics -trace verify.jsonl
+//	closverify -batch scenarios/ -op search:lex
+//
+// -batch switches the tool into corpus-sweep mode: instead of the
+// theorem checks it runs the given engine op over every scenario file
+// in a directory (or one file), through engine.RunBatch — the same
+// entry point the closnetd /v1/batch endpoint uses — and prints the
+// response bodies in deterministic file order, one JSON document per
+// line. The output is byte-identical to what the HTTP endpoints would
+// return for the same scenarios.
 //
 // The shared observability flags (internal/obs) journal every check as
 // a verify.check event and count checks/violations in the metrics
@@ -23,8 +32,13 @@ import (
 	"io"
 	"math/big"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 
 	"closnet"
+	"closnet/internal/codec"
+	"closnet/internal/engine"
 	"closnet/internal/obs"
 )
 
@@ -41,7 +55,9 @@ func run(args []string, out io.Writer) error {
 		maxN    = fl.Int("max-n", 7, "largest network size to verify")
 		maxK    = fl.Int("max-k", 16, "largest multiplicity to verify")
 		verbose = fl.Bool("v", false, "print each check")
-		workers = fl.Int("workers", 0, "feasibility search workers (0 = all cores, 1 = serial)")
+		batch   = fl.String("batch", "", "sweep mode: scenario JSON file or directory of them to run -op over")
+		batchOp = fl.String("op", engine.OpEvaluate, "engine op for -batch (evaluate, search:lex, search:throughput, search:relative, doom)")
+		ef      = engine.AddFlags(fl)
 		ob      = obs.AddFlags(fl)
 	)
 	if err := fl.Parse(args); err != nil {
@@ -56,6 +72,11 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(os.Stderr, "closverify:", cerr)
 		}
 	}()
+	eng := ef.Engine(orun.Obs)
+	if *batch != "" {
+		return runBatch(eng, *batch, *batchOp, out)
+	}
+	workers := eng.SearchOptions(context.Background()).Workers
 	reg := orun.Obs.Registry()
 	jour := orun.Obs.Journal()
 	cChecks := reg.Counter("verify.checks")
@@ -82,7 +103,7 @@ func run(args []string, out io.Writer) error {
 	if err := verifyTheorem34(*maxN, *maxK, report); err != nil {
 		return err
 	}
-	if err := verifyTheorem42(min(*maxN, 5), *workers, report); err != nil {
+	if err := verifyTheorem42(min(*maxN, 5), workers, report); err != nil {
 		return err
 	}
 	if err := verifyTheorem43(*maxN, report); err != nil {
@@ -97,7 +118,7 @@ func run(args []string, out io.Writer) error {
 	if err := verifyScheduling(*maxK, report); err != nil {
 		return err
 	}
-	if err := verifyRearrangeability(*workers, report); err != nil {
+	if err := verifyRearrangeability(workers, report); err != nil {
 		return err
 	}
 	if err := verifyClaim45(2**maxN, report); err != nil {
@@ -105,6 +126,73 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "all %d checks passed\n", checks)
 	return nil
+}
+
+// runBatch is the -batch corpus-sweep mode: load every scenario under
+// path (a single JSON file, or a directory whose *.json files are taken
+// in sorted order), run op over all of them through engine.RunBatch
+// with bounded fan-out, and print the deterministic response bodies in
+// file order — the same bytes N calls to the closnetd endpoints would
+// return. Any failing scenario is reported on stderr with its file
+// name; the sweep still finishes the rest and exits non-zero.
+func runBatch(eng *engine.Engine, path, op string, out io.Writer) error {
+	paths, err := batchPaths(path)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("batch: no scenario files under %s", path)
+	}
+	reqs := make([]engine.Request, len(paths))
+	for i, p := range paths {
+		scen, err := codec.LoadFile(p)
+		if err != nil {
+			return fmt.Errorf("batch: %w", err)
+		}
+		reqs[i] = engine.Request{Op: op, Scenario: scen}
+	}
+	results := eng.RunBatch(context.Background(), reqs, runtime.GOMAXPROCS(0), nil)
+	failed := 0
+	for i, res := range results {
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "closverify: batch: %s: %v\n", paths[i], res.Err)
+			continue
+		}
+		if _, err := out.Write(res.Resp.Body); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("batch: %d of %d scenarios failed", failed, len(paths))
+	}
+	return nil
+}
+
+// batchPaths resolves the -batch argument to the scenario files it
+// names: the file itself, or a directory's *.json entries sorted by
+// name so sweeps are deterministic.
+func batchPaths(path string) ([]string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{path}, nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		paths = append(paths, filepath.Join(path, e.Name()))
+	}
+	sort.Strings(paths)
+	return paths, nil
 }
 
 // verifyTheorem34: T^MmF ≥ T^MT/2 and the adversarial ratio formula.

@@ -1,0 +1,43 @@
+package codec
+
+import (
+	"encoding/json"
+
+	"closnet/internal/core"
+	"closnet/internal/rational"
+)
+
+// RateStrings renders an allocation as exact rational strings, the wire
+// form every closnet response uses for rates. One renderer keeps CLI
+// output and server bodies from drifting apart.
+func RateStrings(a core.Allocation) []string {
+	out := make([]string, len(a))
+	for i, r := range a {
+		out[i] = rational.String(r)
+	}
+	return out
+}
+
+// MarshalBody encodes a response value as compact JSON with a trailing
+// newline — the deterministic single-line body shape of every engine
+// result, cacheable and concatenable (a batch response is exactly the
+// concatenation of its items' bodies).
+func MarshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// apiError is the JSON error body of every non-200 response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// ErrorBody renders an error message in the shared single-line JSON
+// error shape: {"error": msg} plus a trailing newline.
+func ErrorBody(msg string) []byte {
+	b, _ := json.Marshal(apiError{Error: msg})
+	return append(b, '\n')
+}

@@ -1,0 +1,68 @@
+package codec
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"closnet/internal/core"
+)
+
+func TestRateStrings(t *testing.T) {
+	alloc := core.Allocation{
+		big.NewRat(1, 3),
+		big.NewRat(1, 1),
+		big.NewRat(0, 1),
+		big.NewRat(5, 2),
+	}
+	got := RateStrings(alloc)
+	want := []string{"1/3", "1", "0", "5/2"}
+	if len(got) != len(want) {
+		t.Fatalf("RateStrings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RateStrings[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if empty := RateStrings(nil); len(empty) != 0 {
+		t.Errorf("RateStrings(nil) = %v, want empty", empty)
+	}
+}
+
+// TestMarshalBody pins the wire framing every transport depends on:
+// compact single-line JSON terminated by exactly one newline, keys in
+// struct order, so response bodies are byte-stable across runs.
+func TestMarshalBody(t *testing.T) {
+	type doc struct {
+		B string   `json:"b"`
+		A int      `json:"a"`
+		L []string `json:"l,omitempty"`
+	}
+	body, err := MarshalBody(doc{B: "x", A: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte(`{"b":"x","a":7}` + "\n")
+	if !bytes.Equal(body, want) {
+		t.Errorf("MarshalBody = %q, want %q", body, want)
+	}
+	again, err := MarshalBody(doc{B: "x", A: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, again) {
+		t.Errorf("MarshalBody is not deterministic: %q vs %q", body, again)
+	}
+	if _, err := MarshalBody(func() {}); err == nil {
+		t.Error("MarshalBody accepted an unmarshalable value")
+	}
+}
+
+func TestErrorBody(t *testing.T) {
+	got := ErrorBody(`broken "scenario"`)
+	want := []byte(`{"error":"broken \"scenario\""}` + "\n")
+	if !bytes.Equal(got, want) {
+		t.Errorf("ErrorBody = %q, want %q", got, want)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -24,6 +25,17 @@ var ErrUnboundedFlow = errors.New("waterfill: flow bounded by no finite-capacity
 // all links, and the returned allocation always satisfies the bottleneck
 // property (enforced separately by IsMaxMinFair in tests).
 func MaxMinFair(net *topology.Network, fs Collection, r Routing) (Allocation, error) {
+	return MaxMinFairCtx(context.Background(), net, fs, r)
+}
+
+// MaxMinFairCtx is MaxMinFair bounded by a context: the filler polls
+// ctx once per freeze round (each round is one O(links) scan, so
+// cancellation latency is a single round) and a cancelled run returns
+// ctx.Err() with no partial allocation. It is the deadline propagation
+// path of the serving layer's /v1/evaluate and /v1/doom operations,
+// which previously ran to completion after their request had been
+// abandoned.
+func MaxMinFairCtx(ctx context.Context, net *topology.Network, fs Collection, r Routing) (Allocation, error) {
 	if err := r.Validate(net, fs); err != nil {
 		return nil, fmt.Errorf("waterfill: %w", err)
 	}
@@ -53,6 +65,9 @@ func MaxMinFair(net *topology.Network, fs Collection, r Routing) (Allocation, er
 	remainingFlows := nf
 
 	for remainingFlows > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Smallest uniform increase that saturates some link:
 		// min over finite links with active flows of remaining/active.
 		var delta *big.Rat
@@ -123,9 +138,15 @@ func MacroMaxMinFair(ms *topology.MacroSwitch, fs Collection) (Allocation, error
 // ClosMaxMinFair computes the max-min fair allocation of fs in the Clos
 // network c under the routing given by middle assignment ma.
 func ClosMaxMinFair(c *topology.Clos, fs Collection, ma MiddleAssignment) (Allocation, error) {
+	return ClosMaxMinFairCtx(context.Background(), c, fs, ma)
+}
+
+// ClosMaxMinFairCtx is ClosMaxMinFair bounded by a context (see
+// MaxMinFairCtx for the cancellation contract).
+func ClosMaxMinFairCtx(ctx context.Context, c *topology.Clos, fs Collection, ma MiddleAssignment) (Allocation, error) {
 	r, err := ClosRouting(c, fs, ma)
 	if err != nil {
 		return nil, err
 	}
-	return MaxMinFair(c.Network(), fs, r)
+	return MaxMinFairCtx(ctx, c.Network(), fs, r)
 }

@@ -1,0 +1,85 @@
+// Package corpus builds the paper's adversarial instance families as
+// encoded codec.Scenario payloads — the one corpus definition shared by
+// the closnetd loadgen, the closverify batch mode and the golden
+// byte-identity tests of the serving layer. A "corpus" here is a list
+// of scenario bodies in a deterministic order, so replaying one against
+// any transport (HTTP, engine.RunBatch, a CLI) exercises identical
+// instances.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"closnet/internal/adversary"
+	"closnet/internal/codec"
+)
+
+// builders maps each corpus family name to its instance constructor at
+// network size n. The families are the §3–§5 adversarial constructions:
+// the Theorem 3.4 price-of-fairness gadget at two multiplicities, the
+// Theorem 4.2 replication-impossibility collection, and the Theorem 4.3
+// starvation collection (the heavyweight: n(n-1)(n+1) + 2n + n(n-1) + 1
+// flows).
+var builders = map[string]func(n int) (*adversary.Instance, error){
+	"example23":   func(int) (*adversary.Instance, error) { return adversary.Example23() },
+	"theorem34k2": func(n int) (*adversary.Instance, error) { return adversary.Theorem34(n, 2) },
+	"theorem34k8": func(n int) (*adversary.Instance, error) { return adversary.Theorem34(n, 8) },
+	"theorem42":   adversary.Theorem42,
+	"theorem43":   adversary.Theorem43,
+}
+
+// Families returns the known corpus family names in deterministic
+// (sorted) order. example23 is the fixed Figure 1 instance over C_2
+// (3 flows, searchable exhaustively); the rest scale with n.
+func Families() []string {
+	return []string{"example23", "theorem34k2", "theorem34k8", "theorem42", "theorem43"}
+}
+
+// Scenarios builds the requested families over C_n as decoded
+// scenarios, in the order given. Family names are trimmed and empty
+// entries skipped, so a comma-split flag value can be passed through
+// unchanged.
+func Scenarios(n int, want []string) ([]*codec.Scenario, []string, error) {
+	var scens []*codec.Scenario
+	var names []string
+	for _, raw := range want {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		build, ok := builders[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("corpus: unknown family %q (known: %s)", name, strings.Join(Families(), ", "))
+		}
+		in, err := build(n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("corpus: %s: %w", name, err)
+		}
+		s, err := codec.FromInstance(in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("corpus: %s: %w", name, err)
+		}
+		scens = append(scens, s)
+		names = append(names, name)
+	}
+	return scens, names, nil
+}
+
+// Build builds the requested families over C_n as encoded scenario
+// payloads (indented JSON, the codec.Encode form), in the order given.
+func Build(n int, want []string) ([][]byte, []string, error) {
+	scens, names, err := Scenarios(n, want)
+	if err != nil {
+		return nil, nil, err
+	}
+	bodies := make([][]byte, len(scens))
+	for i, s := range scens {
+		data, err := codec.Encode(s)
+		if err != nil {
+			return nil, nil, fmt.Errorf("corpus: %s: %w", names[i], err)
+		}
+		bodies[i] = data
+	}
+	return bodies, names, nil
+}

@@ -1,0 +1,63 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFamiliesSortedAndBuildable(t *testing.T) {
+	fams := Families()
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1] >= fams[i] {
+			t.Errorf("Families() not sorted: %q before %q", fams[i-1], fams[i])
+		}
+	}
+	scens, names, err := Scenarios(3, fams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != len(fams) || len(names) != len(fams) {
+		t.Fatalf("Scenarios built %d/%d entries for %d families", len(scens), len(names), len(fams))
+	}
+	for i, name := range names {
+		if name != fams[i] {
+			t.Errorf("names[%d] = %q, want %q (request order must be preserved)", i, name, fams[i])
+		}
+		if len(scens[i].Flows) == 0 {
+			t.Errorf("%s: scenario has no flows", name)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	first, _, err := Build(4, []string{"theorem42", "theorem43"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := Build(4, []string{"theorem42", "theorem43"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 2 || len(again) != 2 {
+		t.Fatalf("Build returned %d and %d bodies, want 2", len(first), len(again))
+	}
+	for i := range first {
+		if !bytes.Equal(first[i], again[i]) {
+			t.Errorf("body %d differs between identical Build calls", i)
+		}
+	}
+}
+
+func TestScenariosFlagStyleInput(t *testing.T) {
+	// A comma-split flag value arrives with spaces and empty segments.
+	scens, names, err := Scenarios(3, []string{" theorem42 ", "", "example23"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 2 || names[0] != "theorem42" || names[1] != "example23" {
+		t.Fatalf("Scenarios = %v (%d scens), want [theorem42 example23]", names, len(scens))
+	}
+	if _, _, err := Scenarios(3, []string{"theorem99"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

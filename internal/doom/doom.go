@@ -18,6 +18,7 @@
 package doom
 
 import (
+	"context"
 	"fmt"
 
 	"closnet/internal/coloring"
@@ -113,6 +114,17 @@ func RouteWithPolicy(c *topology.Clos, fs core.Collection, victim VictimPolicy) 
 // matching size, the victim middle and the color-class sizes. A nil o
 // disables instrumentation.
 func RouteWithObs(c *topology.Clos, fs core.Collection, victim VictimPolicy, o *obs.Obs) (*Result, error) {
+	return RouteCtx(context.Background(), c, fs, victim, o)
+}
+
+// RouteCtx is RouteWithObs bounded by a context: the algorithm polls
+// ctx between its three phases (matching, coloring, dooming), so an
+// abandoned request stops before starting the next super-linear step.
+// A cancelled run returns ctx.Err() and no partial result.
+func RouteCtx(ctx context.Context, c *topology.Clos, fs core.Collection, victim VictimPolicy, o *obs.Obs) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := fs.Validate(c.Network()); err != nil {
 		return nil, fmt.Errorf("doom: %w", err)
 	}
@@ -138,6 +150,9 @@ func RouteWithObs(c *topology.Clos, fs core.Collection, victim VictimPolicy, o *
 		res.Matched[fi] = true
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Step 2: n-edge-coloring of G^C restricted to F'. Edges of G^C are
 	// the matched flows, identified by their (input, output) ToR pair;
 	// each ToR serves n servers, each used by at most one matched flow,
@@ -162,6 +177,9 @@ func RouteWithObs(c *topology.Clos, fs core.Collection, victim VictimPolicy, o *
 		res.Assignment[fi] = colors[ei] + 1
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Step 3: doom the remaining flows onto the middle switch chosen by
 	// the victim policy (the paper: smallest color class).
 	sizes := coloring.ClassSizes(colors, n)

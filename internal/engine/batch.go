@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"context"
+
+	"closnet/internal/obs"
+)
+
+// BatchResult is one slot of a RunBatch outcome: the response of the
+// request at the same index, or the error that stopped it. Exactly one
+// of the fields is set.
+type BatchResult struct {
+	Resp *Response
+	Err  error
+}
+
+// Runner computes one request of a batch; i is the request's index in
+// the batch, for transports that keep per-item side state. Engine.Run
+// is the default; transports substitute their own pipeline (the HTTP
+// server routes each item through its result cache and singleflight
+// group) so batch items behave exactly like single calls.
+type Runner func(ctx context.Context, i int, req Request) (*Response, error)
+
+// RunBatch computes the requests with bounded fan-out: at most workers
+// computations in flight at once (workers <= 0 means len(reqs)), every
+// item run through run (nil = e.Run), results in request order
+// regardless of completion order. One failing item does not stop the
+// others — its slot carries the error. ctx cancellation drains the
+// fan-out: items not yet started return ctx.Err() without computing.
+func (e *Engine) RunBatch(ctx context.Context, reqs []Request, workers int, run Runner) []BatchResult {
+	if run == nil {
+		run = func(ctx context.Context, _ int, req Request) (*Response, error) { return e.Run(ctx, req) }
+	}
+	if workers <= 0 || workers > len(reqs) {
+		workers = len(reqs)
+	}
+	results := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	e.Obs().Journal().Emit("engine.batch", obs.F{"items": len(reqs), "workers": workers})
+
+	// Work-stealing off a channel of indices keeps the result ordering
+	// trivially deterministic: slot i is written only by the goroutine
+	// that claimed index i.
+	idx := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					results[i] = BatchResult{Err: err}
+				} else if resp, err := run(ctx, i, reqs[i]); err != nil {
+					results[i] = BatchResult{Err: err}
+				} else {
+					results[i] = BatchResult{Resp: resp}
+				}
+				done <- struct{}{}
+			}
+		}()
+	}
+	go func() {
+		for i := range reqs {
+			idx <- i
+		}
+		close(idx)
+	}()
+	for range reqs {
+		<-done
+	}
+	return results
+}

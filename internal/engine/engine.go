@@ -1,0 +1,200 @@
+// Package engine is the one compute entry point of closnet: a typed
+// operation registry mapping op names (evaluate, search:lex,
+// search:throughput, search:relative, doom) to compute functions over
+// canonical scenarios. Every transport — the closnetd HTTP handlers,
+// the CLI tools, the batch sweeps — builds a Request and calls Run (or
+// RunBatch); the engine owns the three things that must never be
+// duplicated per transport:
+//
+//   - canonicalization: every computation runs on the canonical form of
+//     its scenario (codec.CanonicalHash), so semantically equal requests
+//     share one content address and one response body;
+//   - deterministic encoding: each op produces a single-line compact
+//     JSON body (codec.MarshalBody) that is byte-identical across
+//     transports, cacheable, and concatenable into batch responses;
+//   - observability: per-op counters and one engine.compute journal
+//     event per computation, whatever the caller.
+//
+// Adding an objective is registering one op — no new endpoint, flag
+// set, or encoder. Transports stay ~50-line adapters: decode → Run →
+// reply.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"closnet/internal/codec"
+	"closnet/internal/obs"
+	"closnet/internal/search"
+)
+
+// The registered operation names.
+const (
+	OpEvaluate         = "evaluate"
+	OpSearchLex        = "search:lex"
+	OpSearchThroughput = "search:throughput"
+	OpSearchRelative   = "search:relative"
+	OpDoom             = "doom"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// SearchWorkers is the enumeration worker count of every search:*
+	// op, following the search.Options.Workers policy (0 = one worker
+	// per core, 1 = serial; results are bit-identical either way).
+	// Callers serving many concurrent requests want 1; CLIs sweeping
+	// one instance want 0.
+	SearchWorkers int
+	// MaxStates caps each search:* enumeration
+	// (0 = search.DefaultMaxStates).
+	MaxStates int
+	// Obs attaches the observability layer: per-op compute counters, a
+	// compute latency timer, and one engine.compute journal event per
+	// computation. nil disables instrumentation.
+	Obs *obs.Obs
+}
+
+// Request names one compute operation over one scenario, the transport-
+// independent unit of work.
+type Request struct {
+	Op       string
+	Scenario *codec.Scenario
+}
+
+// Prepared is a canonicalized, content-addressed request: the validated
+// op, the canonical scenario, and its SHA-256 content hash. Transports
+// that cache or coalesce key on (Op, Hash) before computing.
+type Prepared struct {
+	Op    string
+	Canon *codec.Scenario
+	Hash  [32]byte
+}
+
+// Response is one computed result: the op, the content address of the
+// canonical scenario, and the deterministic single-line JSON body.
+type Response struct {
+	Op   string
+	Hash [32]byte
+	Body []byte
+}
+
+// computeFunc is one registered operation: it computes over the
+// canonical scenario and returns the encoded response body. It must
+// honor ctx and must be deterministic — same canonical scenario, same
+// bytes.
+type computeFunc func(ctx context.Context, e *Engine, canon *codec.Scenario, hash [32]byte) ([]byte, error)
+
+// Engine dispatches requests through the op registry. Create with New;
+// an Engine is immutable and safe for concurrent use.
+type Engine struct {
+	opts Options
+	ops  map[string]computeFunc
+
+	mComputes *obs.Counter
+	mErrors   *obs.Counter
+	mLatency  *obs.Timer
+}
+
+// New builds an Engine with the standard op registry.
+func New(opts Options) *Engine {
+	reg := opts.Obs.Registry()
+	return &Engine{
+		opts: opts,
+		ops: map[string]computeFunc{
+			OpEvaluate:         computeEvaluate,
+			OpSearchLex:        searchOp("lex"),
+			OpSearchThroughput: searchOp("throughput"),
+			OpSearchRelative:   searchOp("relative"),
+			OpDoom:             computeDoom,
+		},
+		mComputes: reg.Counter("engine.computes"),
+		mErrors:   reg.Counter("engine.errors"),
+		mLatency:  reg.Timer("engine.compute_latency"),
+	}
+}
+
+// Ops returns the registered operation names, sorted.
+func (e *Engine) Ops() []string {
+	ops := make([]string, 0, len(e.ops))
+	for op := range e.ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+// Obs returns the engine's observability bundle (never nil as a
+// handle; a zero bundle disables instrumentation).
+func (e *Engine) Obs() *obs.Obs { return e.opts.Obs }
+
+// SearchOptions returns the search.Options every search:* op runs
+// with, bounded by ctx. Non-engine search call sites (experiments,
+// benchmarks) use it too, so one flag spelling configures them all.
+func (e *Engine) SearchOptions(ctx context.Context) search.Options {
+	return search.Options{
+		MaxStates: e.opts.MaxStates,
+		Workers:   e.opts.SearchWorkers,
+		Obs:       e.opts.Obs,
+		Ctx:       ctx,
+	}
+}
+
+// Prepare validates the op against the registry and canonicalizes the
+// scenario, returning the content-addressed request. It does no
+// computation.
+func (e *Engine) Prepare(req Request) (*Prepared, error) {
+	if _, ok := e.ops[req.Op]; !ok {
+		return nil, fmt.Errorf("engine: unknown op %q (known: %v)", req.Op, e.Ops())
+	}
+	if req.Scenario == nil {
+		return nil, fmt.Errorf("engine: op %q without a scenario", req.Op)
+	}
+	canon, hash, err := codec.CanonicalHash(req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Op: req.Op, Canon: canon, Hash: hash}, nil
+}
+
+// Compute runs one prepared request through the op registry and
+// returns the deterministic response body. ctx bounds the computation:
+// every op propagates cancellation into its compute path and returns
+// ctx.Err() with no partial body.
+func (e *Engine) Compute(ctx context.Context, p *Prepared) ([]byte, error) {
+	fn, ok := e.ops[p.Op]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown op %q (known: %v)", p.Op, e.Ops())
+	}
+	start := time.Now()
+	body, err := fn(ctx, e, p.Canon, p.Hash)
+	elapsed := time.Since(start)
+	e.mComputes.Inc()
+	e.mLatency.Observe(elapsed)
+	ok = err == nil
+	if !ok {
+		e.mErrors.Inc()
+	}
+	e.opts.Obs.Journal().Emit("engine.compute", obs.F{
+		"op": p.Op, "ok": ok, "elapsed_ns": elapsed.Nanoseconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Run is the single-call entry point: Prepare then Compute.
+func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
+	p, err := e.Prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := e.Compute(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Op: p.Op, Hash: p.Hash, Body: body}, nil
+}

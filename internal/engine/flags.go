@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"flag"
+
+	"closnet/internal/obs"
+)
+
+// Flags holds the engine flag values shared by every cmd tool that
+// launches computations: -workers and -max-states, the knobs each CLI
+// used to re-spell by hand.
+type Flags struct {
+	Workers   int
+	MaxStates int
+}
+
+// AddFlags registers the shared engine flags on fl and returns the
+// struct their values land in. Call (*Flags).Engine after parsing.
+func AddFlags(fl *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fl.IntVar(&f.Workers, "workers", 0, "routing-space search workers (0 = all cores, 1 = serial)")
+	fl.IntVar(&f.MaxStates, "max-states", 0, "per-search state cap (0 = engine default)")
+	return f
+}
+
+// Engine builds the tool's Engine from the parsed flags and the
+// observability bundle of the run (nil disables instrumentation).
+func (f *Flags) Engine(o *obs.Obs) *Engine {
+	return New(Options{SearchWorkers: f.Workers, MaxStates: f.MaxStates, Obs: o})
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+
+	"closnet/internal/codec"
+	"closnet/internal/core"
+	"closnet/internal/doom"
+	"closnet/internal/rational"
+	"closnet/internal/search"
+)
+
+// evalResponse is the evaluate op's schema: the max-min fair allocation
+// of the canonical scenario under its embedded routing (uniform middle
+// 1 when absent), in canonical flow order.
+type evalResponse struct {
+	Hash       string   `json:"hash"`
+	Flows      int      `json:"flows"`
+	Assignment []int    `json:"assignment"`
+	Rates      []string `json:"rates"`
+	Throughput string   `json:"throughput"`
+}
+
+func computeEvaluate(ctx context.Context, e *Engine, canon *codec.Scenario, hash [32]byte) ([]byte, error) {
+	c, fs, _, ma, err := canon.Build()
+	if err != nil {
+		return nil, err
+	}
+	if ma == nil {
+		ma = core.UniformAssignment(len(fs), 1)
+	}
+	a, err := core.ClosMaxMinFairCtx(ctx, c, fs, ma)
+	if err != nil {
+		return nil, err
+	}
+	resp := evalResponse{
+		Hash:       hex.EncodeToString(hash[:]),
+		Flows:      len(fs),
+		Assignment: []int(ma),
+		Rates:      codec.RateStrings(a),
+		Throughput: rational.String(core.Throughput(a)),
+	}
+	return codec.MarshalBody(resp)
+}
+
+// searchResponse is the search:* ops' schema: the optimal routing under
+// the requested objective, in canonical flow order.
+type searchResponse struct {
+	Hash       string   `json:"hash"`
+	Objective  string   `json:"objective"`
+	Assignment []int    `json:"assignment"`
+	Rates      []string `json:"rates"`
+	Throughput string   `json:"throughput"`
+	MinRatio   string   `json:"minRatio,omitempty"`
+	States     int      `json:"states"`
+}
+
+// searchOp builds the compute function of one search objective. The
+// three search:* registry entries are instances of this closure, so
+// adding an objective is one constructor call in New.
+func searchOp(objective string) computeFunc {
+	return func(ctx context.Context, e *Engine, canon *codec.Scenario, hash [32]byte) ([]byte, error) {
+		c, fs, demands, _, err := canon.Build()
+		if err != nil {
+			return nil, err
+		}
+		opts := e.SearchOptions(ctx)
+		resp := searchResponse{Hash: hex.EncodeToString(hash[:]), Objective: objective}
+		switch objective {
+		case "lex":
+			res, err := search.LexMaxMin(c, fs, opts)
+			if err != nil {
+				return nil, err
+			}
+			resp.Assignment, resp.Rates = []int(res.Assignment), codec.RateStrings(res.Allocation)
+			resp.Throughput = rational.String(core.Throughput(res.Allocation))
+			resp.States = res.States
+		case "throughput":
+			res, err := search.ThroughputMaxMin(c, fs, opts)
+			if err != nil {
+				return nil, err
+			}
+			resp.Assignment, resp.Rates = []int(res.Assignment), codec.RateStrings(res.Allocation)
+			resp.Throughput = rational.String(core.Throughput(res.Allocation))
+			resp.States = res.States
+		case "relative":
+			if demands == nil {
+				return nil, errors.New("objective \"relative\" needs scenario demands as targets")
+			}
+			res, err := search.RelativeMaxMin(c, fs, demands, opts)
+			if err != nil {
+				return nil, err
+			}
+			resp.Assignment, resp.Rates = []int(res.Assignment), codec.RateStrings(res.Allocation)
+			resp.Throughput = rational.String(core.Throughput(res.Allocation))
+			resp.MinRatio = rational.String(res.MinRatio)
+			resp.States = res.States
+		}
+		return codec.MarshalBody(resp)
+	}
+}
+
+// doomResponse is the doom op's schema: Algorithm 1's routing and its
+// max-min fair allocation, in canonical flow order.
+type doomResponse struct {
+	Hash       string   `json:"hash"`
+	Assignment []int    `json:"assignment"`
+	DoomMiddle int      `json:"doomMiddle"`
+	Matched    int      `json:"matched"`
+	Rates      []string `json:"rates"`
+	Throughput string   `json:"throughput"`
+}
+
+func computeDoom(ctx context.Context, e *Engine, canon *codec.Scenario, hash [32]byte) ([]byte, error) {
+	c, fs, _, _, err := canon.Build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := doom.RouteCtx(ctx, c, fs, doom.LeastLoaded(), e.opts.Obs)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.ClosMaxMinFairCtx(ctx, c, fs, res.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	resp := doomResponse{
+		Hash:       hex.EncodeToString(hash[:]),
+		Assignment: []int(res.Assignment),
+		DoomMiddle: res.DoomMiddle,
+		Matched:    res.MatchedCount(),
+		Rates:      codec.RateStrings(a),
+		Throughput: rational.String(core.Throughput(a)),
+	}
+	return codec.MarshalBody(resp)
+}

@@ -50,7 +50,7 @@ func RunA1(sizes []int, flowsPer int, trials int, seed int64) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := doom.RouteWithObs(c, pair.Clos, doom.LeastLoaded(), Obs)
+			res, err := doom.RouteWithObs(c, pair.Clos, doom.LeastLoaded(), obsSink())
 			if err != nil {
 				return nil, err
 			}

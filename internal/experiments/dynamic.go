@@ -82,7 +82,7 @@ func RunD1(cfg DynConfig) (*Table, error) {
 					Sizes:       dist,
 					NumFlows:    cfg.NumFlows,
 					Seed:        cfg.Seed,
-					Obs:         Obs,
+					Obs:         obsSink(),
 				})
 				if err != nil {
 					return nil, err

@@ -7,27 +7,41 @@ import (
 	"closnet/internal/adversary"
 	"closnet/internal/core"
 	"closnet/internal/doom"
+	"closnet/internal/engine"
 	"closnet/internal/obs"
 	"closnet/internal/rational"
 	"closnet/internal/search"
 )
 
-// SearchWorkers is the worker count handed to every routing-space search
-// the experiments launch (0 = one worker per core, 1 = serial; see
-// search.Options.Workers). cmd/closlab sets it from its -workers flag.
-// Results are bit-identical for every setting; only wall-clock changes.
-var SearchWorkers int
+// Engine is the compute engine behind every routing-space search and
+// instrumented subsystem the experiments touch (searches, Doom-Switch,
+// the dynamic simulator): one object carries the worker count and the
+// observability sink that each experiment used to assemble by hand.
+// cmd/closlab sets it from the shared engine flags; nil (the default)
+// falls back to a zero-option engine (all-cores search, no
+// instrumentation), so tests and example programs need no setup.
+var Engine *engine.Engine
 
-// Obs is the observability sink handed to every instrumented subsystem
-// the experiments touch (searches, Doom-Switch, the dynamic simulator).
-// cmd/closlab sets it from its -metrics/-trace flags; nil (the default)
-// disables all instrumentation.
-var Obs *obs.Obs
+// defaultEngine backs the nil-Engine fallback.
+var defaultEngine = engine.New(engine.Options{})
 
-// searchOpts returns the default exhaustive-search options with the
-// package-level worker count and observability sink applied.
+func eng() *engine.Engine {
+	if Engine != nil {
+		return Engine
+	}
+	return defaultEngine
+}
+
+// searchOpts returns the engine's exhaustive-search options — the one
+// spelling of workers/observability every experiment shares.
 func searchOpts() search.Options {
-	return search.Options{Workers: SearchWorkers, Obs: Obs}
+	return eng().SearchOptions(context.Background())
+}
+
+// obsSink returns the engine's observability bundle for the
+// instrumented non-search subsystems (Doom-Switch, dynsim).
+func obsSink() *obs.Obs {
+	return eng().Obs()
 }
 
 // RunF1 regenerates Figure 1 / Example 2.3: the max-min fair allocations
@@ -175,12 +189,12 @@ func RunF3(ns []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, full, err := search.FeasibleRouting(context.Background(), in.Clos, in.Flows, in.MacroRates, 0, SearchWorkers)
+		_, full, err := search.FeasibleRouting(context.Background(), in.Clos, in.Flows, in.MacroRates, 0, searchOpts().Workers)
 		if err != nil {
 			return nil, err
 		}
 		t3 := in.FlowsOfType(adversary.Type3)[0]
-		_, partial, err := search.FeasibleRouting(context.Background(), in.Clos, in.Flows[:t3], in.MacroRates[:t3], 0, SearchWorkers)
+		_, partial, err := search.FeasibleRouting(context.Background(), in.Clos, in.Flows[:t3], in.MacroRates[:t3], 0, searchOpts().Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -261,7 +275,7 @@ func RunF4() (*Table, error) {
 	}
 	t.AddRow("macro-switch max-min fair", typeRate(macro, adversary.Type1), typeRate(macro, adversary.Type2a), rational.String(core.Throughput(macro)))
 
-	res, err := doom.RouteWithObs(in.Clos, in.Flows, doom.LeastLoaded(), Obs)
+	res, err := doom.RouteWithObs(in.Clos, in.Flows, doom.LeastLoaded(), obsSink())
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +310,7 @@ func RunT3(ns, ks []int) (*Table, error) {
 				return nil, err
 			}
 			tm := core.Throughput(macro)
-			res, err := doom.RouteWithObs(in.Clos, in.Flows, doom.LeastLoaded(), Obs)
+			res, err := doom.RouteWithObs(in.Clos, in.Flows, doom.LeastLoaded(), obsSink())
 			if err != nil {
 				return nil, err
 			}

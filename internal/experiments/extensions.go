@@ -140,7 +140,7 @@ func RunM1(ns []int, trials int, seed int64) (*Table, error) {
 			return nil, err
 		}
 		bound := 2*in.Clos.ServersPerToR() - 1
-		m, ok, err := search.MinMiddlesToRoute(context.Background(), in.Clos, in.Flows, in.MacroRates, bound, 0, SearchWorkers)
+		m, ok, err := search.MinMiddlesToRoute(context.Background(), in.Clos, in.Flows, in.MacroRates, bound, 0, searchOpts().Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -172,7 +172,7 @@ func RunM1(ns []int, trials int, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, ok, err := search.MinMiddlesToRoute(context.Background(), c, pair.Clos, demands, 2*n-1, 0, SearchWorkers)
+		m, ok, err := search.MinMiddlesToRoute(context.Background(), c, pair.Clos, demands, 2*n-1, 0, searchOpts().Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"closnet/internal/corpus"
+)
+
+// batchEnvelope renders a /v1/batch request over the given scenario
+// payloads, one item per scenario, with the given per-item op.
+func batchEnvelope(t *testing.T, op string, scenarios ...[]byte) string {
+	t.Helper()
+	var b bytes.Buffer
+	b.WriteString(`{"items":[`)
+	for i, s := range scenarios {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"op":%q,"scenario":%s}`, op, s)
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+// TestBatchMatchesSingleCalls is the transport half of the batch
+// contract: POST /v1/batch of N scenarios returns exactly the N
+// single-call bodies, concatenated in request order.
+func TestBatchMatchesSingleCalls(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 2})
+	bodies, names, err := corpus.Build(3, []string{"theorem34k2", "theorem42", "theorem43"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want bytes.Buffer
+	for i, scen := range bodies {
+		resp, single := post(t, ts.URL+"/v1/evaluate", string(scen))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("single %s: status %d, body %s", names[i], resp.StatusCode, single)
+		}
+		want.Write(single)
+	}
+
+	resp, got := post(t, ts.URL+"/v1/batch", batchEnvelope(t, "evaluate", bodies...))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d, body %s", resp.StatusCode, got)
+	}
+	if resp.Header.Get("X-Closnet-Batch-Items") != "3" {
+		t.Errorf("X-Closnet-Batch-Items = %q, want 3", resp.Header.Get("X-Closnet-Batch-Items"))
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("batch body is not the concatenation of the single-call bodies:\ngot:  %s\nwant: %s", got, want.Bytes())
+	}
+}
+
+// TestBatchEnvelopeDefaultOp checks the envelope-level op applies to
+// items that carry none, defaulting to evaluate when both are absent.
+func TestBatchEnvelopeDefaultOp(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 2})
+	bodies, _, err := corpus.Build(3, []string{"theorem42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, single := post(t, ts.URL+"/v1/doom", string(bodies[0]))
+	envelope := fmt.Sprintf(`{"op":"doom","items":[{"scenario":%s}]}`, bodies[0])
+	resp, got := post(t, ts.URL+"/v1/batch", envelope)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d, body %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, single) {
+		t.Errorf("envelope-op batch body differs from /v1/doom body:\ngot:  %s\nwant: %s", got, single)
+	}
+
+	_, single = post(t, ts.URL+"/v1/evaluate", string(bodies[0]))
+	resp, got = post(t, ts.URL+"/v1/batch", fmt.Sprintf(`{"items":[{"scenario":%s}]}`, bodies[0]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default-op batch: status %d, body %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, single) {
+		t.Errorf("default-op batch body differs from /v1/evaluate body")
+	}
+}
+
+// TestBatchUnderConcurrentLoad races batches against overlapping single
+// calls for the same content addresses; every response must stay
+// byte-identical to the cold bodies. With -race on, this exercises the
+// batch fan-out's cache and singleflight participation.
+func TestBatchUnderConcurrentLoad(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 4})
+	bodies, _, err := corpus.Build(3, []string{"theorem34k2", "theorem34k8", "theorem42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want bytes.Buffer
+	singles := make([][]byte, len(bodies))
+	for i, scen := range bodies {
+		_, single := post(t, ts.URL+"/v1/evaluate", string(scen))
+		singles[i] = single
+		want.Write(single)
+	}
+	envelope := batchEnvelope(t, "evaluate", bodies...)
+
+	const rounds = 6
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			resp, got := post(t, ts.URL+"/v1/batch", envelope)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("batch under load: status %d, body %s", resp.StatusCode, got)
+				return
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Errorf("batch body drifted under concurrent load")
+			}
+		}()
+		go func(i int) {
+			defer wg.Done()
+			resp, got := post(t, ts.URL+"/v1/evaluate", string(bodies[i]))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("single under load: status %d", resp.StatusCode)
+				return
+			}
+			if !bytes.Equal(got, singles[i]) {
+				t.Errorf("single body drifted under concurrent load")
+			}
+		}(r % len(bodies))
+	}
+	wg.Wait()
+}
+
+// TestBatchItemFailure checks per-item error isolation: a bad item
+// yields its single-call error body in its slot, the siblings still
+// succeed, and the envelope reports 207 with the error count.
+func TestBatchItemFailure(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 2})
+	bodies, _, err := corpus.Build(3, []string{"theorem42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, single := post(t, ts.URL+"/v1/evaluate", string(bodies[0]))
+
+	envelope := fmt.Sprintf(
+		`{"items":[{"scenario":%s},{"op":"fastest","scenario":%s},{"scenario":{"tors":0}}]}`,
+		bodies[0], bodies[0])
+	resp, got := post(t, ts.URL+"/v1/batch", envelope)
+	if resp.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("partial-failure batch: status %d, want 207; body %s", resp.StatusCode, got)
+	}
+	if resp.Header.Get("X-Closnet-Batch-Errors") != "2" {
+		t.Errorf("X-Closnet-Batch-Errors = %q, want 2", resp.Header.Get("X-Closnet-Batch-Errors"))
+	}
+
+	lines := bytes.SplitAfter(got, []byte("\n"))
+	lines = lines[:len(lines)-1] // trailing empty split
+	if len(lines) != 3 {
+		t.Fatalf("batch body has %d lines, want 3: %s", len(lines), got)
+	}
+	if !bytes.Equal(lines[0], single) {
+		t.Errorf("healthy item body differs from its single call:\ngot:  %s\nwant: %s", lines[0], single)
+	}
+	for i, line := range lines[1:] {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &e); err != nil || e.Error == "" {
+			t.Errorf("failed item %d carries no error body: %s", i+1, line)
+		}
+	}
+}
+
+// TestBatchCacheParticipation verifies batch items share the result
+// cache with single calls in both directions.
+func TestBatchCacheParticipation(t *testing.T) {
+	_, ts, reg := newTestServer(t, Options{Workers: 2})
+	bodies, _, err := corpus.Build(3, []string{"theorem42", "theorem43"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch computes both; the follow-up single calls must be hits.
+	resp, got := post(t, ts.URL+"/v1/batch", batchEnvelope(t, "evaluate", bodies...))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d, body %s", resp.StatusCode, got)
+	}
+	if misses := reg.Snapshot().Counters["server.cache.misses"]; misses != 2 {
+		t.Errorf("cold batch caused %d misses, want 2", misses)
+	}
+	for _, scen := range bodies {
+		resp, _ := post(t, ts.URL+"/v1/evaluate", string(scen))
+		if state := resp.Header.Get("X-Closnet-Cache"); state != "hit" {
+			t.Errorf("single call after batch: cache %q, want hit", state)
+		}
+	}
+	// And the reverse: a second batch is all hits.
+	before := reg.Snapshot().Counters["server.cache.misses"]
+	post(t, ts.URL+"/v1/batch", batchEnvelope(t, "evaluate", bodies...))
+	if after := reg.Snapshot().Counters["server.cache.misses"]; after != before {
+		t.Errorf("warm batch caused %d new misses, want 0", after-before)
+	}
+}
+
+// TestBatchRejectsBadEnvelopes covers the envelope-level error paths.
+func TestBatchRejectsBadEnvelopes(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 1, MaxBatchItems: 2})
+
+	resp, _ := post(t, ts.URL+"/v1/batch", "{not json")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed envelope: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.URL+"/v1/batch", `{"items":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	bodies, _, err := corpus.Build(3, []string{"theorem42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = post(t, ts.URL+"/v1/batch", batchEnvelope(t, "evaluate", bodies[0], bodies[0], bodies[0]))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+	getResp, err := http.Get(ts.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/batch: status %d, want 405", getResp.StatusCode)
+	}
+}

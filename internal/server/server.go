@@ -1,11 +1,14 @@
 // Package server is the scenario-evaluation service behind the
 // closnetd daemon: an HTTP JSON API (stdlib net/http only) that accepts
 // codec.Scenario payloads and serves max-min fair allocations
-// (POST /v1/evaluate), exhaustive routing search (POST /v1/search) and
-// Doom-Switch routing (POST /v1/doom), plus /healthz, /readyz and
-// /v1/stats.
+// (POST /v1/evaluate), exhaustive routing search (POST /v1/search),
+// Doom-Switch routing (POST /v1/doom) and batched sweeps over all of
+// them (POST /v1/batch), plus /healthz, /readyz and /v1/stats.
 //
-// The serving core is three cooperating layers:
+// The handlers are thin transport adapters over internal/engine — they
+// decode, consult the serving layers below, call the engine's op
+// registry, and reply. What the server adds on top of the engine is
+// the serving core, three cooperating layers every op shares:
 //
 //   - a content-addressed result cache: scenarios are canonicalized and
 //     hashed (codec.Canonical + codec.Hash) and finished response
@@ -17,8 +20,13 @@
 //   - admission control: a bounded worker pool and a bounded wait
 //     queue, with fast 429 + Retry-After rejection when both are full,
 //     and a per-request deadline that propagates context.Context
-//     cancellation into the search engine so abandoned requests stop
-//     burning cores.
+//     cancellation into every compute path (search enumeration, water
+//     filling, Doom-Switch) so abandoned requests stop burning cores.
+//
+// Batch requests participate per item: each /v1/batch item runs
+// through the same cache, flight group and admission gate as a single
+// call, so a batch response is exactly the concatenation of the N
+// single-call bodies, in request order.
 //
 // Determinism: every computation runs on the canonical form of the
 // scenario, so all semantically equal requests — any flow order, any
@@ -28,39 +36,39 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"closnet/internal/codec"
-	"closnet/internal/core"
-	"closnet/internal/doom"
+	"closnet/internal/engine"
 	"closnet/internal/obs"
-	"closnet/internal/rational"
-	"closnet/internal/search"
 )
 
 // Defaults for Options fields left zero.
 const (
-	DefaultQueueDepth = 64
-	DefaultCacheSize  = 1024
-	DefaultTimeout    = 30 * time.Second
-	DefaultMaxBody    = 1 << 20
+	DefaultQueueDepth    = 64
+	DefaultCacheSize     = 1024
+	DefaultTimeout       = 30 * time.Second
+	DefaultMaxBody       = 1 << 20
+	DefaultMaxBatchItems = 256
 )
 
 // Options configures a Server.
 type Options struct {
 	// Workers bounds the number of concurrently computing requests
 	// (0 = one per available core). This is the serving-layer pool the
-	// admission controller guards.
+	// admission controller guards; /v1/batch fan-out is bounded by it
+	// too.
 	Workers int
 	// QueueDepth bounds how many admitted-but-waiting requests may
 	// block for a worker slot (0 = DefaultQueueDepth, negative = no
@@ -72,18 +80,21 @@ type Options struct {
 	CacheSize int
 	// Timeout is the per-request compute deadline (0 = DefaultTimeout,
 	// negative = none). It parents the request's own context, so client
-	// disconnects cancel the computation too.
+	// disconnects cancel the computation too. Batch items are bounded
+	// individually, like the single calls they mirror.
 	Timeout time.Duration
-	// SearchWorkers is the enumeration worker count each /v1/search
-	// request uses (0 = 1, the serving default: parallelism comes from
-	// serving many requests, and results are bit-identical for every
-	// setting anyway).
+	// SearchWorkers is the enumeration worker count each search op uses
+	// (0 = 1, the serving default: parallelism comes from serving many
+	// requests, and results are bit-identical for every setting anyway).
 	SearchWorkers int
-	// MaxStates caps each /v1/search enumeration
+	// MaxStates caps each search enumeration
 	// (0 = search.DefaultMaxStates).
 	MaxStates int
 	// MaxBody bounds request bodies in bytes (0 = DefaultMaxBody).
 	MaxBody int64
+	// MaxBatchItems bounds how many items one /v1/batch request may
+	// carry (0 = DefaultMaxBatchItems).
+	MaxBatchItems int
 	// Obs attaches the observability layer: request/cache/coalesce/
 	// reject counters, a request latency timer, and a journal event per
 	// request. nil creates a private registry so /v1/stats always
@@ -91,61 +102,63 @@ type Options struct {
 	Obs *obs.Obs
 }
 
-func (o Options) workers() int {
-	if o.Workers <= 0 {
-		return runtime.GOMAXPROCS(0)
+// withDefaults validates opts and resolves every zero field to its
+// default and every negative "disable" sentinel to its resolved form.
+// It is the one defaulting point of the package — after New, s.opts
+// holds only resolved values, so no call site re-derives a default.
+func (o Options) withDefaults() (Options, error) {
+	if o.Workers < 0 {
+		return o, fmt.Errorf("server: negative Workers %d", o.Workers)
 	}
-	return o.Workers
-}
-
-func (o Options) queueDepth() int {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	switch {
 	case o.QueueDepth == 0:
-		return DefaultQueueDepth
+		o.QueueDepth = DefaultQueueDepth
 	case o.QueueDepth < 0:
-		return 0
+		o.QueueDepth = 0
 	}
-	return o.QueueDepth
-}
-
-func (o Options) cacheSize() int {
 	switch {
 	case o.CacheSize == 0:
-		return DefaultCacheSize
+		o.CacheSize = DefaultCacheSize
 	case o.CacheSize < 0:
-		return 0
+		o.CacheSize = 0
 	}
-	return o.CacheSize
-}
-
-func (o Options) timeout() time.Duration {
 	switch {
 	case o.Timeout == 0:
-		return DefaultTimeout
+		o.Timeout = DefaultTimeout
 	case o.Timeout < 0:
-		return 0
+		o.Timeout = 0
 	}
-	return o.Timeout
-}
-
-func (o Options) searchWorkers() int {
 	if o.SearchWorkers <= 0 {
-		return 1
+		o.SearchWorkers = 1
 	}
-	return o.SearchWorkers
-}
-
-func (o Options) maxBody() int64 {
+	if o.MaxStates < 0 {
+		return o, fmt.Errorf("server: negative MaxStates %d", o.MaxStates)
+	}
 	if o.MaxBody <= 0 {
-		return DefaultMaxBody
+		o.MaxBody = DefaultMaxBody
 	}
-	return o.MaxBody
+	switch {
+	case o.MaxBatchItems == 0:
+		o.MaxBatchItems = DefaultMaxBatchItems
+	case o.MaxBatchItems < 0:
+		return o, fmt.Errorf("server: negative MaxBatchItems %d", o.MaxBatchItems)
+	}
+	if o.Obs.Registry() == nil {
+		// /v1/stats always reports, even when the daemon runs without
+		// -metrics; a journal is only attached when the caller brings one.
+		o.Obs = &obs.Obs{Reg: obs.NewRegistry(), J: o.Obs.Journal()}
+	}
+	return o, nil
 }
 
 // Server is the scenario-evaluation service. Create with New, expose
 // via Handler, stop with Drain.
 type Server struct {
-	opts   Options
+	opts   Options // resolved: withDefaults already applied
+	eng    *engine.Engine
 	mux    *http.ServeMux
 	cache  *resultCache
 	flight *flightGroup
@@ -162,13 +175,14 @@ type Server struct {
 	inflight int
 	drained  chan struct{}
 
-	mRequests  *obs.Counter
-	mHits      *obs.Counter
-	mMisses    *obs.Counter
-	mCoalesced *obs.Counter
-	mRejects   *obs.Counter
-	mErrors    *obs.Counter
-	mLatency   *obs.Timer
+	mRequests   *obs.Counter
+	mHits       *obs.Counter
+	mMisses     *obs.Counter
+	mCoalesced  *obs.Counter
+	mRejects    *obs.Counter
+	mErrors     *obs.Counter
+	mBatchItems *obs.Counter
+	mLatency    *obs.Timer
 
 	// computeStarted, when non-nil, runs on the flight leader after
 	// admission and before the computation — a test hook for making
@@ -177,30 +191,34 @@ type Server struct {
 }
 
 // New builds a Server from opts.
-func New(opts Options) *Server {
-	o := opts.Obs
-	if o.Registry() == nil {
-		// /v1/stats always reports, even when the daemon runs without
-		// -metrics; a journal is only attached when the caller brings one.
-		o = &obs.Obs{Reg: obs.NewRegistry(), J: o.Journal()}
+func New(opts Options) (*Server, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
 	}
-	reg := o.Registry()
+	reg := o.Obs.Registry()
 	s := &Server{
-		opts:       opts,
-		mux:        http.NewServeMux(),
-		drained:    make(chan struct{}),
-		cache:      newResultCache(opts.cacheSize()),
-		flight:     newFlightGroup(),
-		admit:      newAdmitter(opts.workers(), opts.queueDepth()),
-		obs:        o,
-		start:      time.Now(),
-		mRequests:  reg.Counter("server.requests"),
-		mHits:      reg.Counter("server.cache.hits"),
-		mMisses:    reg.Counter("server.cache.misses"),
-		mCoalesced: reg.Counter("server.coalesced"),
-		mRejects:   reg.Counter("server.rejects"),
-		mErrors:    reg.Counter("server.errors"),
-		mLatency:   reg.Timer("server.latency"),
+		opts: o,
+		eng: engine.New(engine.Options{
+			SearchWorkers: o.SearchWorkers,
+			MaxStates:     o.MaxStates,
+			Obs:           o.Obs,
+		}),
+		mux:         http.NewServeMux(),
+		drained:     make(chan struct{}),
+		cache:       newResultCache(o.CacheSize),
+		flight:      newFlightGroup(),
+		admit:       newAdmitter(o.Workers, o.QueueDepth),
+		obs:         o.Obs,
+		start:       time.Now(),
+		mRequests:   reg.Counter("server.requests"),
+		mHits:       reg.Counter("server.cache.hits"),
+		mMisses:     reg.Counter("server.cache.misses"),
+		mCoalesced:  reg.Counter("server.coalesced"),
+		mRejects:    reg.Counter("server.rejects"),
+		mErrors:     reg.Counter("server.errors"),
+		mBatchItems: reg.Counter("server.batch.items"),
+		mLatency:    reg.Timer("server.latency"),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -208,11 +226,15 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/evaluate", s.handleCompute("evaluate"))
 	s.mux.HandleFunc("/v1/search", s.handleCompute("search"))
 	s.mux.HandleFunc("/v1/doom", s.handleCompute("doom"))
-	return s
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the compute engine the handlers dispatch through.
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Drain gracefully stops the service: new compute requests are refused
 // with 503 while every in-flight request runs to completion. It returns
@@ -289,8 +311,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /v1/stats schema.
 type statsResponse struct {
-	UptimeMs int64 `json:"uptime_ms"`
-	Draining bool  `json:"draining"`
+	UptimeMs int64    `json:"uptime_ms"`
+	Draining bool     `json:"draining"`
+	Ops      []string `json:"ops"`
 	Cache    struct {
 		Entries  int `json:"entries"`
 		Capacity int `json:"capacity"`
@@ -308,10 +331,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp statsResponse
 	resp.UptimeMs = time.Since(s.start).Milliseconds()
 	resp.Draining = s.isDraining()
+	resp.Ops = s.eng.Ops()
 	resp.Cache.Entries = s.cache.len()
-	resp.Cache.Capacity = s.opts.cacheSize()
-	resp.Admission.Workers = s.opts.workers()
-	resp.Admission.QueueDepth = s.opts.queueDepth()
+	resp.Cache.Capacity = s.opts.CacheSize
+	resp.Admission.Workers = s.opts.Workers
+	resp.Admission.QueueDepth = s.opts.QueueDepth
 	resp.Admission.InFlight = s.admit.inFlight()
 	resp.Admission.Queued = s.admit.queued()
 	resp.Metrics = s.obs.Registry().Snapshot()
@@ -319,41 +343,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// apiError is the JSON error body of every non-200 compute response.
-type apiError struct {
-	Error string `json:"error"`
-}
-
-func errorBody(msg string) []byte {
-	b, _ := json.Marshal(apiError{Error: msg})
-	return append(b, '\n')
-}
-
 // handleCompute wraps one compute endpoint with the full serving
 // pipeline: drain gate → decode → canonicalize/hash → cache →
-// singleflight → admission → deadline-bounded compute → cache fill.
+// singleflight → admission → deadline-bounded engine compute → cache
+// fill.
 func (s *Server) handleCompute(endpoint string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			s.reply(w, endpoint, http.StatusMethodNotAllowed, errorBody("POST only"), "", start)
+			s.reply(w, endpoint, http.StatusMethodNotAllowed, codec.ErrorBody("POST only"), "", start)
 			return
 		}
 		if !s.beginRequest() {
-			s.reply(w, endpoint, http.StatusServiceUnavailable, errorBody("draining"), "", start)
+			s.reply(w, endpoint, http.StatusServiceUnavailable, codec.ErrorBody("draining"), "", start)
 			return
 		}
 		defer s.endRequest()
 
 		op, err := resolveOp(endpoint, r)
 		if err != nil {
-			s.reply(w, endpoint, http.StatusBadRequest, errorBody(err.Error()), "", start)
+			s.reply(w, endpoint, http.StatusBadRequest, codec.ErrorBody(err.Error()), "", start)
 			return
 		}
-		body, releaseBody, err := readBody(w, r, s.opts.maxBody())
+		body, releaseBody, err := readBody(w, r, s.opts.MaxBody)
 		if err != nil {
-			s.reply(w, endpoint, http.StatusRequestEntityTooLarge, errorBody("request body too large"), "", start)
+			s.reply(w, endpoint, http.StatusRequestEntityTooLarge, codec.ErrorBody("request body too large"), "", start)
 			return
 		}
 		defer releaseBody()
@@ -368,42 +383,48 @@ func (s *Server) handleCompute(endpoint string) http.HandlerFunc {
 
 		scen, err := codec.Decode(body)
 		if err != nil {
-			s.reply(w, endpoint, http.StatusBadRequest, errorBody(err.Error()), "", start)
+			s.reply(w, endpoint, http.StatusBadRequest, codec.ErrorBody(err.Error()), "", start)
 			return
 		}
-		canon, hash, err := codec.CanonicalHash(scen)
+		p, err := s.eng.Prepare(engine.Request{Op: op, Scenario: scen})
 		if err != nil {
-			s.reply(w, endpoint, http.StatusBadRequest, errorBody(err.Error()), "", start)
-			return
-		}
-		key := cacheKey{op: op, hash: hash}
-
-		if cached, ok := s.cache.get(key); ok {
-			s.mHits.Inc()
-			s.cache.put(rawKey, cached)
-			s.reply(w, op, http.StatusOK, cached, "hit", start)
-			return
-		}
-		s.mMisses.Inc()
-
-		call, leader := s.flight.join(key)
-		if !leader {
-			s.mCoalesced.Inc()
-			respBody, status, err := call.wait(r.Context())
-			if err != nil {
-				s.reply(w, op, http.StatusServiceUnavailable, errorBody(err.Error()), "", start)
-				return
-			}
-			s.reply(w, op, status, respBody, "coalesced", start)
+			s.reply(w, endpoint, http.StatusBadRequest, codec.ErrorBody(err.Error()), "", start)
 			return
 		}
 
-		status, respBody := s.lead(r.Context(), call, key, op, canon, hash)
-		if status == http.StatusOK {
+		status, respBody, cacheState := s.serveOp(r.Context(), p)
+		if status == http.StatusOK && cacheState != "coalesced" {
 			s.cache.put(rawKey, respBody)
 		}
-		s.reply(w, op, status, respBody, "miss", start)
+		s.reply(w, op, status, respBody, cacheState, start)
 	}
+}
+
+// serveOp runs one prepared operation through the serving core — result
+// cache, singleflight, admission, deadline-bounded engine compute — and
+// returns the HTTP-shaped outcome. It is the shared per-item path of
+// the single-op handlers and /v1/batch, which is what makes a batch
+// item behave exactly like the single call it mirrors. cacheState is
+// "hit", "miss", "coalesced" or "" (follower whose wait was cut short).
+func (s *Server) serveOp(ctx context.Context, p *engine.Prepared) (status int, body []byte, cacheState string) {
+	key := cacheKey{op: p.Op, hash: p.Hash}
+	if cached, ok := s.cache.get(key); ok {
+		s.mHits.Inc()
+		return http.StatusOK, cached, "hit"
+	}
+	s.mMisses.Inc()
+
+	call, leader := s.flight.join(key)
+	if !leader {
+		s.mCoalesced.Inc()
+		respBody, status, err := call.wait(ctx)
+		if err != nil {
+			return http.StatusServiceUnavailable, codec.ErrorBody(err.Error()), ""
+		}
+		return status, respBody, "coalesced"
+	}
+	status, body = s.lead(ctx, call, key, p)
+	return status, body, "miss"
 }
 
 // lead runs the leader's side of a flight: admission, deadline-bounded
@@ -412,31 +433,31 @@ func (s *Server) handleCompute(endpoint string) http.HandlerFunc {
 // past the leader's exit; a leader's 429 is shared with its followers,
 // which is exactly the load-shedding semantics we want (the work they
 // were waiting for is not going to happen).
-func (s *Server) lead(reqCtx context.Context, call *flightCall, key cacheKey, op string, canon *codec.Scenario, hash [32]byte) (int, []byte) {
+func (s *Server) lead(reqCtx context.Context, call *flightCall, key cacheKey, p *engine.Prepared) (int, []byte) {
 	if err := s.admit.acquire(reqCtx); err != nil {
 		var status int
 		var body []byte
 		if errors.Is(err, errSaturated) {
 			s.mRejects.Inc()
-			status, body = http.StatusTooManyRequests, errorBody("server saturated; retry later")
+			status, body = http.StatusTooManyRequests, codec.ErrorBody("server saturated; retry later")
 		} else {
-			status, body = http.StatusServiceUnavailable, errorBody(err.Error())
+			status, body = http.StatusServiceUnavailable, codec.ErrorBody(err.Error())
 		}
 		s.flight.finish(key, call, body, status, nil)
 		return status, body
 	}
 	defer s.admit.release()
 	if s.computeStarted != nil {
-		s.computeStarted(op)
+		s.computeStarted(p.Op)
 	}
 
 	ctx := reqCtx
-	if t := s.opts.timeout(); t > 0 {
+	if t := s.opts.Timeout; t > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(reqCtx, t)
 		defer cancel()
 	}
-	body, err := s.compute(ctx, op, canon, hash)
+	body, err := s.eng.Compute(ctx, p)
 	status := http.StatusOK
 	if err != nil {
 		status, body = mapComputeError(err)
@@ -454,11 +475,141 @@ func (s *Server) lead(reqCtx context.Context, call *flightCall, key cacheKey, op
 func mapComputeError(err error) (int, []byte) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout, errorBody("compute deadline exceeded")
+		return http.StatusGatewayTimeout, codec.ErrorBody("compute deadline exceeded")
 	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable, errorBody("request cancelled")
+		return http.StatusServiceUnavailable, codec.ErrorBody("request cancelled")
 	}
-	return http.StatusUnprocessableEntity, errorBody(err.Error())
+	return http.StatusUnprocessableEntity, codec.ErrorBody(err.Error())
+}
+
+// batchItem is one /v1/batch work item: an engine op name plus the
+// scenario it runs on. An item without an op inherits the envelope
+// default.
+type batchItem struct {
+	Op       string          `json:"op,omitempty"`
+	Scenario json.RawMessage `json:"scenario"`
+}
+
+// batchRequest is the POST /v1/batch envelope: a default op plus the
+// items to compute. The response body is the concatenation of the
+// per-item response bodies (one JSON document per line), in request
+// order — exactly the bytes N single calls would have returned.
+type batchRequest struct {
+	Op    string      `json:"op,omitempty"`
+	Items []batchItem `json:"items"`
+}
+
+// statusError carries a per-item HTTP outcome through engine.RunBatch,
+// whose error slots are how a batch item reports failure without
+// stopping its siblings.
+type statusError struct {
+	status int
+	body   []byte
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("status %d", e.status) }
+
+// handleBatch is the POST /v1/batch transport adapter: decode the
+// envelope, fan the items out through engine.RunBatch with each item
+// routed through the same cache → singleflight → admission pipeline as
+// a single call, and concatenate the bodies in request order. All items
+// succeeded → 200; otherwise 207 with the failing slots carrying the
+// single-call error body they would have gotten alone, and the
+// X-Closnet-Batch-Errors header counting them.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.reply(w, "batch", http.StatusMethodNotAllowed, codec.ErrorBody("POST only"), "", start)
+		return
+	}
+	if !s.beginRequest() {
+		s.reply(w, "batch", http.StatusServiceUnavailable, codec.ErrorBody("draining"), "", start)
+		return
+	}
+	defer s.endRequest()
+
+	body, releaseBody, err := readBody(w, r, s.opts.MaxBody)
+	if err != nil {
+		s.reply(w, "batch", http.StatusRequestEntityTooLarge, codec.ErrorBody("request body too large"), "", start)
+		return
+	}
+	defer releaseBody()
+	var breq batchRequest
+	if err := json.Unmarshal(body, &breq); err != nil {
+		s.reply(w, "batch", http.StatusBadRequest, codec.ErrorBody(err.Error()), "", start)
+		return
+	}
+	if len(breq.Items) == 0 {
+		s.reply(w, "batch", http.StatusBadRequest, codec.ErrorBody("empty batch: no items"), "", start)
+		return
+	}
+	if len(breq.Items) > s.opts.MaxBatchItems {
+		msg := fmt.Sprintf("batch of %d items exceeds the %d-item limit", len(breq.Items), s.opts.MaxBatchItems)
+		s.reply(w, "batch", http.StatusRequestEntityTooLarge, codec.ErrorBody(msg), "", start)
+		return
+	}
+	if breq.Op == "" {
+		breq.Op = "evaluate"
+	}
+
+	// Decode up front so the fan-out only sees well-formed requests;
+	// a malformed item fails its own slot, exactly as the single call
+	// would have failed with 400.
+	reqs := make([]engine.Request, len(breq.Items))
+	itemErr := make([]*statusError, len(breq.Items))
+	for i, it := range breq.Items {
+		op := it.Op
+		if op == "" {
+			op = breq.Op
+		}
+		scen, err := codec.Decode(it.Scenario)
+		if err != nil {
+			itemErr[i] = &statusError{http.StatusBadRequest, codec.ErrorBody(err.Error())}
+			continue
+		}
+		reqs[i] = engine.Request{Op: op, Scenario: scen}
+	}
+
+	run := func(ctx context.Context, i int, req engine.Request) (*engine.Response, error) {
+		if itemErr[i] != nil {
+			return nil, itemErr[i]
+		}
+		p, err := s.eng.Prepare(req)
+		if err != nil {
+			return nil, &statusError{http.StatusBadRequest, codec.ErrorBody(err.Error())}
+		}
+		status, respBody, _ := s.serveOp(ctx, p)
+		if status != http.StatusOK {
+			return nil, &statusError{status, respBody}
+		}
+		return &engine.Response{Op: p.Op, Hash: p.Hash, Body: respBody}, nil
+	}
+	results := s.eng.RunBatch(r.Context(), reqs, s.opts.Workers, run)
+	s.mBatchItems.Add(int64(len(results)))
+
+	var out bytes.Buffer
+	failed := 0
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+			var se *statusError
+			if errors.As(res.Err, &se) {
+				out.Write(se.body)
+			} else {
+				out.Write(codec.ErrorBody(res.Err.Error()))
+			}
+			continue
+		}
+		out.Write(res.Resp.Body)
+	}
+	status := http.StatusOK
+	if failed > 0 {
+		status = http.StatusMultiStatus
+		w.Header().Set("X-Closnet-Batch-Errors", strconv.Itoa(failed))
+	}
+	w.Header().Set("X-Closnet-Batch-Items", strconv.Itoa(len(results)))
+	s.reply(w, "batch", status, out.Bytes(), "", start)
 }
 
 // bodyPool recycles request-body buffers: on the cache-hit fast path
@@ -494,7 +645,8 @@ func readBody(w http.ResponseWriter, r *http.Request, max int64) (body []byte, r
 }
 
 // resolveOp maps an endpoint plus its result-shaping query parameters
-// to the cache-key operation string.
+// to the engine op name (which doubles as the cache-key operation
+// string).
 func resolveOp(endpoint string, r *http.Request) (string, error) {
 	if endpoint != "search" {
 		return endpoint, nil
@@ -532,161 +684,4 @@ func (s *Server) reply(w http.ResponseWriter, op string, status int, body []byte
 	s.obs.Journal().Emit("server.request", obs.F{
 		"op": op, "status": status, "cache": cacheState, "elapsed_ns": elapsed.Nanoseconds(),
 	})
-}
-
-// compute dispatches one admitted, deadline-bounded computation.
-func (s *Server) compute(ctx context.Context, op string, canon *codec.Scenario, hash [32]byte) ([]byte, error) {
-	switch op {
-	case "evaluate":
-		return s.computeEvaluate(canon, hash)
-	case "search:lex", "search:throughput", "search:relative":
-		return s.computeSearch(ctx, op, canon, hash)
-	case "doom":
-		return s.computeDoom(canon, hash)
-	}
-	return nil, fmt.Errorf("unknown op %q", op)
-}
-
-// evalResponse is the /v1/evaluate schema: the max-min fair allocation
-// of the canonical scenario under its embedded routing (uniform middle
-// 1 when absent), in canonical flow order.
-type evalResponse struct {
-	Hash       string   `json:"hash"`
-	Flows      int      `json:"flows"`
-	Assignment []int    `json:"assignment"`
-	Rates      []string `json:"rates"`
-	Throughput string   `json:"throughput"`
-}
-
-func (s *Server) computeEvaluate(canon *codec.Scenario, hash [32]byte) ([]byte, error) {
-	c, fs, _, ma, err := canon.Build()
-	if err != nil {
-		return nil, err
-	}
-	if ma == nil {
-		ma = core.UniformAssignment(len(fs), 1)
-	}
-	a, err := core.ClosMaxMinFair(c, fs, ma)
-	if err != nil {
-		return nil, err
-	}
-	resp := evalResponse{
-		Hash:       hex.EncodeToString(hash[:]),
-		Flows:      len(fs),
-		Assignment: []int(ma),
-		Rates:      rateStrings(a),
-		Throughput: rational.String(core.Throughput(a)),
-	}
-	return marshalBody(resp)
-}
-
-// searchResponse is the /v1/search schema: the optimal routing under
-// the requested objective, in canonical flow order.
-type searchResponse struct {
-	Hash       string   `json:"hash"`
-	Objective  string   `json:"objective"`
-	Assignment []int    `json:"assignment"`
-	Rates      []string `json:"rates"`
-	Throughput string   `json:"throughput"`
-	MinRatio   string   `json:"minRatio,omitempty"`
-	States     int      `json:"states"`
-}
-
-func (s *Server) computeSearch(ctx context.Context, op string, canon *codec.Scenario, hash [32]byte) ([]byte, error) {
-	c, fs, demands, _, err := canon.Build()
-	if err != nil {
-		return nil, err
-	}
-	opts := search.Options{
-		MaxStates: s.opts.MaxStates,
-		Workers:   s.opts.searchWorkers(),
-		Obs:       s.obs,
-		Ctx:       ctx,
-	}
-	resp := searchResponse{Hash: hex.EncodeToString(hash[:])}
-	switch op {
-	case "search:lex":
-		res, err := search.LexMaxMin(c, fs, opts)
-		if err != nil {
-			return nil, err
-		}
-		resp.Objective = "lex"
-		resp.Assignment, resp.Rates = []int(res.Assignment), rateStrings(res.Allocation)
-		resp.Throughput = rational.String(core.Throughput(res.Allocation))
-		resp.States = res.States
-	case "search:throughput":
-		res, err := search.ThroughputMaxMin(c, fs, opts)
-		if err != nil {
-			return nil, err
-		}
-		resp.Objective = "throughput"
-		resp.Assignment, resp.Rates = []int(res.Assignment), rateStrings(res.Allocation)
-		resp.Throughput = rational.String(core.Throughput(res.Allocation))
-		resp.States = res.States
-	case "search:relative":
-		if demands == nil {
-			return nil, errors.New("objective \"relative\" needs scenario demands as targets")
-		}
-		res, err := search.RelativeMaxMin(c, fs, demands, opts)
-		if err != nil {
-			return nil, err
-		}
-		resp.Objective = "relative"
-		resp.Assignment, resp.Rates = []int(res.Assignment), rateStrings(res.Allocation)
-		resp.Throughput = rational.String(core.Throughput(res.Allocation))
-		resp.MinRatio = rational.String(res.MinRatio)
-		resp.States = res.States
-	}
-	return marshalBody(resp)
-}
-
-// doomResponse is the /v1/doom schema: Algorithm 1's routing and its
-// max-min fair allocation, in canonical flow order.
-type doomResponse struct {
-	Hash       string   `json:"hash"`
-	Assignment []int    `json:"assignment"`
-	DoomMiddle int      `json:"doomMiddle"`
-	Matched    int      `json:"matched"`
-	Rates      []string `json:"rates"`
-	Throughput string   `json:"throughput"`
-}
-
-func (s *Server) computeDoom(canon *codec.Scenario, hash [32]byte) ([]byte, error) {
-	c, fs, _, _, err := canon.Build()
-	if err != nil {
-		return nil, err
-	}
-	res, err := doom.RouteWithObs(c, fs, doom.LeastLoaded(), s.obs)
-	if err != nil {
-		return nil, err
-	}
-	a, err := core.ClosMaxMinFair(c, fs, res.Assignment)
-	if err != nil {
-		return nil, err
-	}
-	resp := doomResponse{
-		Hash:       hex.EncodeToString(hash[:]),
-		Assignment: []int(res.Assignment),
-		DoomMiddle: res.DoomMiddle,
-		Matched:    res.MatchedCount(),
-		Rates:      rateStrings(a),
-		Throughput: rational.String(core.Throughput(a)),
-	}
-	return marshalBody(resp)
-}
-
-func rateStrings(a core.Allocation) []string {
-	out := make([]string, len(a))
-	for i, r := range a {
-		out[i] = rational.String(r)
-	}
-	return out
-}
-
-func marshalBody(v any) ([]byte, error) {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return nil, err
-	}
-	return append(b, '\n'), nil
 }

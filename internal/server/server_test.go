@@ -66,7 +66,10 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server, *obs.
 	} else {
 		reg = opts.Obs.Registry()
 	}
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts, reg
