@@ -11,6 +11,9 @@
 //   - routing-space enumeration: the default symmetry-canonical space vs
 //     the full n^|F| space (search.LexMaxMin), including an n=5 instance
 //     where canonicalization shrinks 5^7 = 78125 states to 855
+//   - bound-guided pruning: the branch-and-bound mode (Options.Pruned)
+//     vs the exhaustive canonical scan on the same instances, with the
+//     pruned-over-exhaustive state ratio published per pair
 //
 // Usage:
 //
@@ -72,6 +75,11 @@ type Report struct {
 	// StateReductionC5 is the full-space over canonical-space state count
 	// for the 7-flow C_5 search instance.
 	StateReductionC5 float64 `json:"state_reduction_c5"`
+	// PruneReductionC5 is the canonical-space state count over the
+	// branch-and-bound evaluation count (bound plus leaf evaluations) on
+	// the same 7-flow C_5 instance — the headline gain of the pruned
+	// search mode. The acceptance bar is ≥ 5.
+	PruneReductionC5 float64 `json:"prune_reduction_c5"`
 	// Obs is the final metrics-registry snapshot of the run, present only
 	// when closbench is invoked with -metrics.
 	Obs *obs.Snapshot `json:"observability,omitempty"`
@@ -201,6 +209,11 @@ func run(args []string) error {
 		opts.FullSpace, opts.Workers = fullSpace, workers
 		return opts
 	}
+	prunedOpts := func() search.Options {
+		opts := eng.SearchOptions(context.Background())
+		opts.Pruned = true
+		return opts
+	}
 
 	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 
@@ -231,7 +244,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep.Benches = append(rep.Benches, serialFull, serialCanon)
+	prunedEx, err := benchLexSearch("LexSearchPrunedExample23",
+		ex.Clos, ex.Flows, prunedOpts())
+	if err != nil {
+		return err
+	}
+	rep.Benches = append(rep.Benches, serialFull, serialCanon, prunedEx)
 
 	c5, fs5 := benchInstance(5, 7)
 	fullC5, err := benchLexSearch("LexSearchFullC5", c5, fs5, searchOpts(true, 0))
@@ -242,9 +260,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep.Benches = append(rep.Benches, fullC5, canonC5)
+	prunedC5, err := benchLexSearch("LexSearchPrunedC5", c5, fs5, prunedOpts())
+	if err != nil {
+		return err
+	}
+	rep.Benches = append(rep.Benches, fullC5, canonC5, prunedC5)
 	if canonC5.States > 0 {
 		rep.StateReductionC5 = float64(fullC5.States) / float64(canonC5.States)
+	}
+	if prunedC5.States > 0 {
+		rep.PruneReductionC5 = float64(canonC5.States) / float64(prunedC5.States)
 	}
 
 	if reg := o.Registry(); reg != nil {

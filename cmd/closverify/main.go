@@ -56,7 +56,7 @@ func run(args []string, out io.Writer) error {
 		maxK    = fl.Int("max-k", 16, "largest multiplicity to verify")
 		verbose = fl.Bool("v", false, "print each check")
 		batch   = fl.String("batch", "", "sweep mode: scenario JSON file or directory of them to run -op over")
-		batchOp = fl.String("op", engine.OpEvaluate, "engine op for -batch (evaluate, search:lex, search:throughput, search:relative, doom)")
+		batchOp = fl.String("op", engine.OpEvaluate, "engine op for -batch (evaluate, doom, search:lex, search:throughput, search:relative, or the pruned branch-and-bound variants search:lex:pruned, search:throughput:pruned)")
 		ef      = engine.AddFlags(fl)
 		ob      = obs.AddFlags(fl)
 	)

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// PartialEvaluator bounds partial middle assignments for the
+// branch-and-bound search: given a suffix of flows fixed to concrete
+// middle switches and the remaining prefix free, it computes the
+// max-min fair allocation of the *trunk relaxation* — an admissible
+// upper bound (in the sorted-lexicographic order of Definition 2.4) on
+// the max-min fair allocation of every completion of the partial
+// assignment.
+//
+// The relaxation adds one aggregate "trunk" link per ToR switch side:
+// uptrunk(i) pools input switch I_i's n uplinks (capacity n) and
+// downtrunk(o) pools output switch O_o's n downlinks (capacity n).
+// A fixed flow is charged on its real four-link path plus both trunks;
+// a free flow is charged only on its server links and the two trunks —
+// it pays for fabric capacity in aggregate without committing to a
+// middle. Any completion's allocation satisfies every relaxed
+// constraint (each trunk constraint is the sum of n unit-capacity
+// fabric constraints, and completions agree with the fixed suffix), so
+// it is feasible in the relaxed system; the water-filled max-min fair
+// allocation of a system lexicographically dominates every feasible
+// allocation of that system, which makes the bound admissible. When
+// every flow is fixed the trunk constraints are implied by the real
+// per-middle links, so the relaxed feasible region equals the real one
+// and the bound coincides with the exact evaluation.
+//
+// Like Evaluator, the hot path runs on the rational.Rat64 small-word
+// kernel over scratch reused across calls — only the two fabric links
+// of each fixed flow differ between nodes, so bounding a child costs a
+// scratch reset plus O(fixed) registration, not a fresh solve — with a
+// lossless *big.Rat fallback on overflow. A PartialEvaluator is NOT
+// safe for concurrent use.
+type PartialEvaluator struct {
+	nf     int
+	n      int
+	tors   int
+	nLinks int // real links + 2*tors trunk links
+
+	// staticOf[fi] lists the finite links flow fi occupies regardless of
+	// assignment: source link, uptrunk(i), downtrunk(o), destination
+	// link. fabricOf[fi][m-1] lists the two real fabric links flow fi
+	// additionally occupies when fixed to middle m.
+	staticOf [][]int
+	fabricOf [][][2]int
+
+	// Scratch reused across Bound calls, indexed by relaxed link ID.
+	// on holds the static flows-on-link lists for server and trunk links
+	// (membership there never varies); fabric on-lists are rebuilt per
+	// call from the fixed suffix.
+	active     []int
+	baseActive []int
+	frozen     []bool
+	on         [][]int
+	fabricIDs  []int // real fabric link IDs, for the per-call on reset
+	isFabric   []bool
+	finiteIDs  []int
+
+	caps64 []rational.Rat64
+	rem64  []rational.Rat64
+	fast   bool
+
+	forceBig bool
+
+	// big.Rat scratch for the promotion path, mirroring Evaluator.
+	remaining              []*big.Rat
+	caps                   []*big.Rat
+	actRat                 *big.Rat
+	delta                  *big.Rat
+	tmp                    *big.Rat
+	level                  *big.Rat
+	xInt, yInt, aInt, bInt *big.Int
+}
+
+// NewPartialEvaluator prepares repeated trunk-relaxation bounds of fs
+// over c. It fails if any flow endpoint is not a server of c or any
+// link capacity is unbounded (the relaxation pools concrete capacities).
+func NewPartialEvaluator(c *topology.Clos, fs Collection) (*PartialEvaluator, error) {
+	links := c.Network().Links()
+	e := &PartialEvaluator{nf: len(fs), n: c.Size(), tors: c.NumToRs()}
+	nReal := len(links)
+	e.nLinks = nReal + 2*e.tors
+	upTrunk := func(i int) int { return nReal + (i - 1) }
+	downTrunk := func(o int) int { return nReal + e.tors + (o - 1) }
+
+	e.caps = make([]*big.Rat, e.nLinks)
+	e.caps64 = make([]rational.Rat64, e.nLinks)
+	e.rem64 = make([]rational.Rat64, e.nLinks)
+	e.remaining = make([]*big.Rat, e.nLinks)
+	e.isFabric = make([]bool, e.nLinks)
+	e.fast = true
+	for _, l := range links {
+		if l.Unbounded {
+			return nil, fmt.Errorf("partial: link %d is unbounded; the trunk relaxation needs finite capacities", l.ID)
+		}
+		id := int(l.ID)
+		e.caps[id] = l.Capacity
+		if c64, ok := l.Capacity64(); ok {
+			e.caps64[id] = c64
+		} else {
+			e.fast = false
+		}
+		e.finiteIDs = append(e.finiteIDs, id)
+		e.remaining[id] = new(big.Rat)
+	}
+	sort.Ints(e.finiteIDs)
+	trunkCap := rational.Int(int64(e.n))
+	for t := nReal; t < e.nLinks; t++ {
+		e.caps[t] = trunkCap
+		e.caps64[t] = rational.Int64(int64(e.n))
+		e.finiteIDs = append(e.finiteIDs, t)
+		e.remaining[t] = new(big.Rat)
+	}
+
+	e.staticOf = make([][]int, len(fs))
+	e.fabricOf = make([][][2]int, len(fs))
+	for fi, f := range fs {
+		i, ok := c.InputOf(f.Src)
+		if !ok {
+			return nil, fmt.Errorf("partial: flow %d: node %d is not a source", fi, f.Src)
+		}
+		o, ok := c.OutputOf(f.Dst)
+		if !ok {
+			return nil, fmt.Errorf("partial: flow %d: node %d is not a destination", fi, f.Dst)
+		}
+		p, err := c.Path(f.Src, f.Dst, 1)
+		if err != nil {
+			return nil, fmt.Errorf("partial: flow %d: %w", fi, err)
+		}
+		// p = [src->I_i, I_i->M_1, M_1->O_o, O_o->dst].
+		e.staticOf[fi] = []int{int(p[0]), upTrunk(i), downTrunk(o), int(p[3])}
+		e.fabricOf[fi] = make([][2]int, e.n)
+		for m := 1; m <= e.n; m++ {
+			pm, err := c.Path(f.Src, f.Dst, m)
+			if err != nil {
+				return nil, fmt.Errorf("partial: flow %d: %w", fi, err)
+			}
+			e.fabricOf[fi][m-1] = [2]int{int(pm[1]), int(pm[2])}
+		}
+	}
+
+	// Static membership: every flow sits on its four static links for
+	// every partial assignment; fabric links start empty and are filled
+	// per call with the fixed suffix.
+	e.on = make([][]int, e.nLinks)
+	e.baseActive = make([]int, e.nLinks)
+	e.active = make([]int, e.nLinks)
+	for fi := range fs {
+		for _, id := range e.staticOf[fi] {
+			e.on[id] = append(e.on[id], fi)
+			e.baseActive[id]++
+		}
+		for m := 0; m < e.n; m++ {
+			for _, id := range e.fabricOf[fi][m] {
+				e.isFabric[id] = true
+			}
+		}
+	}
+	for id, fab := range e.isFabric {
+		if fab {
+			e.fabricIDs = append(e.fabricIDs, id)
+		}
+	}
+	e.frozen = make([]bool, len(fs))
+	e.actRat = new(big.Rat)
+	e.delta = new(big.Rat)
+	e.tmp = new(big.Rat)
+	e.level = new(big.Rat)
+	e.xInt, e.yInt = new(big.Int), new(big.Int)
+	e.aInt, e.bInt = new(big.Int), new(big.Int)
+	return e, nil
+}
+
+// ForceBig pins Bound to the *big.Rat path when on is true, bypassing
+// the Rat64 kernel. The results are identical; it exists for
+// differential tests.
+func (e *PartialEvaluator) ForceBig(on bool) { e.forceBig = on }
+
+// Bound computes the max-min fair allocation of the trunk relaxation in
+// which flows [fixedFrom, len(fs)) are routed per ma and flows
+// [0, fixedFrom) are free. The result's sorted vector lexicographically
+// dominates (≥) the sorted max-min fair vector of every completion of
+// the partial assignment; with fixedFrom == 0 it equals the exact
+// evaluation. Only ma[fixedFrom:] is read; the returned Allocation is
+// freshly allocated.
+func (e *PartialEvaluator) Bound(ma MiddleAssignment, fixedFrom int) (Allocation, error) {
+	if len(ma) != e.nf {
+		return nil, fmt.Errorf("partial: assignment has %d middles for %d flows", len(ma), e.nf)
+	}
+	if fixedFrom < 0 || fixedFrom > e.nf {
+		return nil, fmt.Errorf("partial: fixedFrom %d out of range [0, %d]", fixedFrom, e.nf)
+	}
+	for fi := fixedFrom; fi < e.nf; fi++ {
+		if m := ma[fi]; m < 1 || m > e.n {
+			return nil, fmt.Errorf("partial: flow %d: middle %d out of range [1, %d]", fi, m, e.n)
+		}
+	}
+	if e.fast && !e.forceBig {
+		rates, ok, err := e.bound64(ma, fixedFrom)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return rates, nil
+		}
+	}
+	return e.boundBig(ma, fixedFrom)
+}
+
+// register resets the varying scratch: fabric on-lists are rebuilt for
+// the fixed suffix, active counts start from the static membership, and
+// the frozen flags clear. Static on-lists (server and trunk links) are
+// shared across calls and never mutated.
+func (e *PartialEvaluator) register(ma MiddleAssignment, fixedFrom int) {
+	for _, id := range e.fabricIDs {
+		e.on[id] = e.on[id][:0]
+	}
+	copy(e.active, e.baseActive)
+	for fi := range e.frozen {
+		e.frozen[fi] = false
+	}
+	for fi := fixedFrom; fi < e.nf; fi++ {
+		for _, id := range e.fabricOf[fi][ma[fi]-1] {
+			e.on[id] = append(e.on[id], fi)
+			e.active[id]++
+		}
+	}
+}
+
+// linksOf calls fn for every relaxed link flow fi occupies under the
+// partial assignment.
+func (e *PartialEvaluator) linksOf(fi, fixedFrom int, ma MiddleAssignment, fn func(id int)) {
+	for _, id := range e.staticOf[fi] {
+		fn(id)
+	}
+	if fi >= fixedFrom {
+		for _, id := range e.fabricOf[fi][ma[fi]-1] {
+			fn(id)
+		}
+	}
+}
+
+// bound64 is the small-word progressive filling of the relaxed system,
+// mirroring Evaluator.eval64: same bottleneck scan, same tie-breaking,
+// same exact arithmetic. The second result is false when an operation
+// overflowed int64; the caller then redoes the state on boundBig.
+func (e *PartialEvaluator) bound64(ma MiddleAssignment, fixedFrom int) (Allocation, bool, error) {
+	e.register(ma, fixedFrom)
+	for _, id := range e.finiteIDs {
+		e.rem64[id] = e.caps64[id]
+	}
+	rates := make(rational.Vec, e.nf)
+	if e.nf == 0 {
+		return rates, true, nil
+	}
+	level := rational.Zero64()
+	remainingFlows := e.nf
+	for remainingFlows > 0 {
+		minID := -1
+		var minDelta rational.Rat64
+		for _, id := range e.finiteIDs {
+			if e.active[id] == 0 {
+				continue
+			}
+			d, ok := e.rem64[id].DivInt(int64(e.active[id]))
+			if !ok {
+				return nil, false, nil
+			}
+			if minID < 0 || d.Cmp(minDelta) < 0 {
+				minID = id
+				minDelta = d
+			}
+		}
+		if minID < 0 {
+			return nil, false, ErrUnboundedFlow
+		}
+		var ok bool
+		if level, ok = level.Add(minDelta); !ok {
+			return nil, false, nil
+		}
+		for _, id := range e.finiteIDs {
+			if e.active[id] == 0 {
+				continue
+			}
+			used, ok := minDelta.MulInt(int64(e.active[id]))
+			if !ok {
+				return nil, false, nil
+			}
+			if e.rem64[id], ok = e.rem64[id].Sub(used); !ok {
+				return nil, false, nil
+			}
+		}
+		var levelRat *big.Rat
+		progressed := false
+		for _, id := range e.finiteIDs {
+			if e.active[id] == 0 || !e.rem64[id].IsZero() {
+				continue
+			}
+			for _, fi := range e.on[id] {
+				if e.frozen[fi] {
+					continue
+				}
+				e.frozen[fi] = true
+				if levelRat == nil {
+					levelRat = level.Rat()
+				}
+				rates[fi] = levelRat
+				remainingFlows--
+				progressed = true
+				e.linksOf(fi, fixedFrom, ma, func(l int) { e.active[l]-- })
+			}
+		}
+		if !progressed {
+			return nil, false, errors.New("partial: no progress (internal invariant violated)")
+		}
+	}
+	return rates, true, nil
+}
+
+// boundBig is the exact progressive filling of the relaxed system on
+// *big.Rat, the promotion target of bound64 and the oracle of the
+// differential tests. It mirrors Evaluator.evalBig.
+func (e *PartialEvaluator) boundBig(ma MiddleAssignment, fixedFrom int) (Allocation, error) {
+	e.register(ma, fixedFrom)
+	for _, id := range e.finiteIDs {
+		e.remaining[id].Set(e.caps[id])
+	}
+	rates := make(rational.Vec, e.nf)
+	if e.nf == 0 {
+		return rates, nil
+	}
+	level := e.level.SetInt64(0)
+	remainingFlows := e.nf
+	for remainingFlows > 0 {
+		minID := -1
+		for _, id := range e.finiteIDs {
+			if e.active[id] == 0 {
+				continue
+			}
+			if minID < 0 {
+				minID = id
+				continue
+			}
+			e.aInt.SetInt64(int64(e.active[minID]))
+			e.bInt.SetInt64(int64(e.active[id]))
+			e.xInt.Mul(e.remaining[id].Num(), e.remaining[minID].Denom())
+			e.xInt.Mul(e.xInt, e.aInt)
+			e.yInt.Mul(e.remaining[minID].Num(), e.remaining[id].Denom())
+			e.yInt.Mul(e.yInt, e.bInt)
+			if e.xInt.Cmp(e.yInt) < 0 {
+				minID = id
+			}
+		}
+		if minID < 0 {
+			return nil, ErrUnboundedFlow
+		}
+		e.actRat.SetInt64(int64(e.active[minID]))
+		e.delta.Quo(e.remaining[minID], e.actRat)
+
+		level.Add(level, e.delta)
+		for _, id := range e.finiteIDs {
+			if e.active[id] == 0 {
+				continue
+			}
+			e.actRat.SetInt64(int64(e.active[id]))
+			e.tmp.Mul(e.delta, e.actRat)
+			e.remaining[id].Sub(e.remaining[id], e.tmp)
+		}
+
+		progressed := false
+		for _, id := range e.finiteIDs {
+			if e.active[id] == 0 || e.remaining[id].Sign() != 0 {
+				continue
+			}
+			for _, fi := range e.on[id] {
+				if e.frozen[fi] {
+					continue
+				}
+				e.frozen[fi] = true
+				rates[fi] = rational.Copy(level)
+				remainingFlows--
+				progressed = true
+				e.linksOf(fi, fixedFrom, ma, func(l int) { e.active[l]-- })
+			}
+		}
+		if !progressed {
+			return nil, errors.New("partial: no progress (internal invariant violated)")
+		}
+	}
+	return rates, nil
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 
 	"closnet/internal/obs"
 )
@@ -45,16 +46,29 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request, workers int, run 
 	// that claimed index i.
 	idx := make(chan int)
 	done := make(chan struct{})
+	// runOne isolates one item so a panicking Runner is recovered into
+	// the item's error slot instead of killing the worker goroutine —
+	// a dead worker would never signal done and the collector below
+	// would block forever.
+	runOne := func(i int) (res BatchResult) {
+		defer func() {
+			if r := recover(); r != nil {
+				res = BatchResult{Err: fmt.Errorf("engine: batch item %d: runner panicked: %v", i, r)}
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			return BatchResult{Err: err}
+		}
+		resp, err := run(ctx, i, reqs[i])
+		if err != nil {
+			return BatchResult{Err: err}
+		}
+		return BatchResult{Resp: resp}
+	}
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range idx {
-				if err := ctx.Err(); err != nil {
-					results[i] = BatchResult{Err: err}
-				} else if resp, err := run(ctx, i, reqs[i]); err != nil {
-					results[i] = BatchResult{Err: err}
-				} else {
-					results[i] = BatchResult{Resp: resp}
-				}
+				results[i] = runOne(i)
 				done <- struct{}{}
 			}
 		}()

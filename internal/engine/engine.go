@@ -31,13 +31,20 @@ import (
 	"closnet/internal/search"
 )
 
-// The registered operation names.
+// The registered operation names. The :pruned search variants run the
+// bound-guided branch-and-bound (search.Options.Pruned); they are
+// distinct ops — not a request flag — because their response bodies
+// differ from the exhaustive ones in the states field, and op names
+// double as content-addressed cache keys, which must never map two
+// different bodies to one address.
 const (
-	OpEvaluate         = "evaluate"
-	OpSearchLex        = "search:lex"
-	OpSearchThroughput = "search:throughput"
-	OpSearchRelative   = "search:relative"
-	OpDoom             = "doom"
+	OpEvaluate               = "evaluate"
+	OpSearchLex              = "search:lex"
+	OpSearchThroughput       = "search:throughput"
+	OpSearchRelative         = "search:relative"
+	OpSearchLexPruned        = "search:lex:pruned"
+	OpSearchThroughputPruned = "search:throughput:pruned"
+	OpDoom                   = "doom"
 )
 
 // Options configures an Engine.
@@ -104,11 +111,13 @@ func New(opts Options) *Engine {
 	return &Engine{
 		opts: opts,
 		ops: map[string]computeFunc{
-			OpEvaluate:         computeEvaluate,
-			OpSearchLex:        searchOp("lex"),
-			OpSearchThroughput: searchOp("throughput"),
-			OpSearchRelative:   searchOp("relative"),
-			OpDoom:             computeDoom,
+			OpEvaluate:               computeEvaluate,
+			OpSearchLex:              searchOp("lex", false),
+			OpSearchThroughput:       searchOp("throughput", false),
+			OpSearchRelative:         searchOp("relative", false),
+			OpSearchLexPruned:        searchOp("lex", true),
+			OpSearchThroughputPruned: searchOp("throughput", true),
+			OpDoom:                   computeDoom,
 		},
 		mComputes: reg.Counter("engine.computes"),
 		mErrors:   reg.Counter("engine.errors"),

@@ -185,7 +185,8 @@ func TestPrepareRejectsBadRequests(t *testing.T) {
 func TestOpsRegistry(t *testing.T) {
 	eng := engine.New(engine.Options{})
 	got := eng.Ops()
-	want := []string{"doom", "evaluate", "search:lex", "search:relative", "search:throughput"}
+	want := []string{"doom", "evaluate", "search:lex", "search:lex:pruned",
+		"search:relative", "search:throughput", "search:throughput:pruned"}
 	if len(got) != len(want) {
 		t.Fatalf("ops = %v, want %v", got, want)
 	}

@@ -46,10 +46,14 @@ func computeEvaluate(ctx context.Context, e *Engine, canon *codec.Scenario, hash
 }
 
 // searchResponse is the search:* ops' schema: the optimal routing under
-// the requested objective, in canonical flow order.
+// the requested objective, in canonical flow order. The assignment and
+// rates of a :pruned op are bit-identical to the exhaustive op's; the
+// strategy marker and the states count (bound plus leaf evaluations
+// instead of enumerated states) are what distinguish the bodies.
 type searchResponse struct {
 	Hash       string   `json:"hash"`
 	Objective  string   `json:"objective"`
+	Strategy   string   `json:"strategy,omitempty"`
 	Assignment []int    `json:"assignment"`
 	Rates      []string `json:"rates"`
 	Throughput string   `json:"throughput"`
@@ -57,17 +61,22 @@ type searchResponse struct {
 	States     int      `json:"states"`
 }
 
-// searchOp builds the compute function of one search objective. The
-// three search:* registry entries are instances of this closure, so
-// adding an objective is one constructor call in New.
-func searchOp(objective string) computeFunc {
+// searchOp builds the compute function of one search objective, in the
+// exhaustive or the pruned branch-and-bound strategy. The search:*
+// registry entries are instances of this closure, so adding an
+// objective is one constructor call in New.
+func searchOp(objective string, pruned bool) computeFunc {
 	return func(ctx context.Context, e *Engine, canon *codec.Scenario, hash [32]byte) ([]byte, error) {
 		c, fs, demands, _, err := canon.Build()
 		if err != nil {
 			return nil, err
 		}
 		opts := e.SearchOptions(ctx)
+		opts.Pruned = pruned
 		resp := searchResponse{Hash: hex.EncodeToString(hash[:]), Objective: objective}
+		if pruned {
+			resp.Strategy = "pruned"
+		}
 		switch objective {
 		case "lex":
 			res, err := search.LexMaxMin(c, fs, opts)

@@ -57,6 +57,8 @@ type engineObs struct {
 	states       *obs.Counter // assignments actually evaluated (includes speculative ones beyond the stop rank)
 	improvements *obs.Counter // incumbent improvements across all shards
 	earlyExits   *obs.Counter // stop-rank publications (Lemma 3.2/5.2 bound attained)
+	boundEvals   *obs.Counter // relaxation bound evaluations (pruned mode only)
+	prunes       *obs.Counter // subtrees cut by the bound (pruned mode only)
 	spaceTotal   *obs.Gauge   // cumulative size of the enumerated spaces
 	stopRank     *obs.Gauge   // last early-exit stop rank (0 when no search exited early)
 	duration     *obs.Timer   // wall time per search run
@@ -70,6 +72,8 @@ func newEngineObs(o *obs.Obs) engineObs {
 		states:       reg.Counter("search.states"),
 		improvements: reg.Counter("search.improvements"),
 		earlyExits:   reg.Counter("search.early_exits"),
+		boundEvals:   reg.Counter("search.bound_evals"),
+		prunes:       reg.Counter("search.pruned_subtrees"),
 		spaceTotal:   reg.Gauge("search.space_total"),
 		stopRank:     reg.Gauge("search.stop_rank"),
 		duration:     reg.Timer("search.duration"),
@@ -299,6 +303,7 @@ type shardIncumbent struct {
 func runSharded(ctx context.Context, c *topology.Clos, fs core.Collection, s enumSpace, workers int, newObjective func() objective, eo engineObs) (*Result, error) {
 	var (
 		stopRank atomic.Int64 // exclusive bound: ranks ≥ stopRank are unneeded
+		stopped  atomic.Bool  // some worker published a stop rank
 		aborted  atomic.Bool  // an inner error cancels every worker
 		errMu    sync.Mutex
 		firstErr error
@@ -387,6 +392,7 @@ func runSharded(ctx context.Context, c *topology.Clos, fs core.Collection, s enu
 						// Every later rank is unneeded; earlier shards keep
 						// running so the lowest optimal rank wins.
 						lowerStop(int64(rank) + 1)
+						stopped.Store(true)
 						eo.earlyExits.Inc()
 						eo.j.Emit("search.stop_rank", obs.F{"shard": w, "rank": rank + 1})
 						return
@@ -421,8 +427,12 @@ func runSharded(ctx context.Context, c *topology.Clos, fs core.Collection, s enu
 			"shard": w, "evaluated": evaluated[w], "rank": inc.rank, "improved": improved,
 		})
 	}
-	if stop := stopRank.Load(); stop < int64(total) {
-		eo.stopRank.Set(stop)
+	// The gauge tracks every early exit, like runSerial's — including a
+	// stop rank equal to the space total (optimum first attained at the
+	// last rank), which the `stop < total` comparison previously missed,
+	// so identical runs journaled different metrics per worker count.
+	if stopped.Load() {
+		eo.stopRank.Set(stopRank.Load())
 	}
 	return res, nil
 }

@@ -115,6 +115,57 @@ func parseJournal(t *testing.T, data []byte) []journalEvent {
 	return events
 }
 
+// TestStopRankGaugeUniform pins the search.stop_rank gauge across every
+// schedule on an instance whose throughput optimum is first attained at
+// the LAST canonical rank: two flows between the same ToR pair of C_2
+// collide on middle 1 (throughput 1) and reach the matching bound 2
+// only once spread (canonical rank 1 of 2). The early exit then
+// publishes stop rank == space total, the case the sharded path's old
+// `stop < total` comparison dropped — identical runs journaled a zero
+// gauge under some worker counts and the true rank under others. Every
+// schedule must now report the same gauge, equal to the journaled
+// search.stop_rank event and to Result.States.
+func TestStopRankGaugeUniform(t *testing.T) {
+	c := topology.MustClos(2)
+	fs := core.Collection{}.
+		Add(c.Source(1, 1), c.Dest(1, 1), 1).
+		Add(c.Source(1, 2), c.Dest(1, 2), 1)
+
+	type schedule struct {
+		full    bool
+		workers int
+	}
+	schedules := []schedule{{true, 1}, {true, 2}, {false, 1}, {false, 2}}
+	for _, sc := range schedules {
+		reg := obs.NewRegistry()
+		var buf bytes.Buffer
+		j := obs.NewJournal(&buf, obs.WithRunID("golden"))
+		res, err := ThroughputMaxMin(c, fs, Options{
+			FullSpace: sc.full, Workers: sc.workers, Obs: &obs.Obs{Reg: reg, J: j},
+		})
+		if err != nil {
+			t.Fatalf("full=%v workers=%d: %v", sc.full, sc.workers, err)
+		}
+		// The optimum sits at rank 1 in both spaces, so every schedule
+		// stops after exactly 2 states.
+		if res.States != 2 {
+			t.Errorf("full=%v workers=%d: states = %d, want 2", sc.full, sc.workers, res.States)
+		}
+		if got := reg.Gauge("search.stop_rank").Value(); got != 2 {
+			t.Errorf("full=%v workers=%d: stop_rank gauge = %d, want 2", sc.full, sc.workers, got)
+		}
+		var eventRank int64 = -1
+		for _, e := range parseJournal(t, buf.Bytes()) {
+			if e.Ev == "search.stop_rank" {
+				eventRank = int64(e.Fields["rank"].(float64))
+			}
+		}
+		if eventRank != 2 {
+			t.Errorf("full=%v workers=%d: search.stop_rank event rank = %d, want 2", sc.full, sc.workers, eventRank)
+		}
+	}
+}
+
 // TestJournalShardedOrdering: with several workers the per-state events
 // interleave nondeterministically, but the structural order is fixed —
 // search.start first, then every shard_start in ascending shard order

@@ -71,6 +71,12 @@ func RelativeMaxMin(c *topology.Clos, fs core.Collection, target rational.Vec, o
 	if len(target) != len(fs) {
 		return nil, fmt.Errorf("search: %d targets for %d flows", len(target), len(fs))
 	}
+	if opts.Pruned {
+		// The minimum target ratio is not monotone under the sorted-vector
+		// domination the relaxation bounds certify, so no admissible bound
+		// is available for this objective.
+		return nil, fmt.Errorf("search: the relative objective has no pruned mode (no admissible relaxation bound)")
+	}
 	if len(fs) == 0 {
 		return &RelativeResult{
 			Assignment: core.MiddleAssignment{},

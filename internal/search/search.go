@@ -50,6 +50,16 @@ type Options struct {
 	// results; the full space exists as the independent oracle the
 	// equivalence tests cross-check canonicalization against.
 	FullSpace bool
+	// Pruned enables the bound-guided branch-and-bound over the
+	// canonical space (branchbound.go): partial assignments are bounded
+	// by a splittable relaxation and branches that cannot beat the
+	// incumbent are never enumerated. The incumbent is bit-identical to
+	// the exhaustive scan's for every instance; Result.States counts
+	// bound plus leaf evaluations instead of enumerated states. The
+	// mode is serial (Workers is ignored), supports the lex and
+	// throughput objectives, and is mutually exclusive with FullSpace
+	// (the canonical rank blocks are what the bound prunes).
+	Pruned bool
 	// Workers is the number of enumeration worker goroutines: 0 runs one
 	// worker per available core, 1 forces the exact legacy serial path,
 	// and k ≥ 2 uses exactly k workers. Every setting returns
@@ -172,10 +182,18 @@ func (o *lexObjective) install(core.Allocation) {
 
 func (o *lexObjective) optimal() bool { return false }
 
-// LexMaxMin finds a lex-max-min fair allocation (Definition 2.4) by
-// exhaustive enumeration: the max-min fair allocation whose sorted vector
-// is lexicographically maximum over all routings.
+// LexMaxMin finds a lex-max-min fair allocation (Definition 2.4): the
+// max-min fair allocation whose sorted vector is lexicographically
+// maximum over all routings. By default it enumerates exhaustively;
+// with Options.Pruned it runs the bound-guided branch-and-bound, which
+// returns the bit-identical incumbent while visiting fewer states.
 func LexMaxMin(c *topology.Clos, fs core.Collection, opts Options) (*Result, error) {
+	if opts.Pruned {
+		if opts.FullSpace {
+			return nil, errors.New("search: Pruned and FullSpace are mutually exclusive")
+		}
+		return lexBranchBound(c, fs, opts)
+	}
 	return runEngine(c, fs, opts, func() objective { return &lexObjective{} })
 }
 
@@ -209,6 +227,12 @@ func (o *throughputObjective) optimal() bool { return o.best != nil && o.best.Cm
 // Lemma 3.2); the abort propagates to every enumeration worker, so the
 // states after the stopping one are never evaluated.
 func ThroughputMaxMin(c *topology.Clos, fs core.Collection, opts Options) (*Result, error) {
+	if opts.Pruned {
+		if opts.FullSpace {
+			return nil, errors.New("search: Pruned and FullSpace are mutually exclusive")
+		}
+		return throughputBranchBound(c, fs, opts)
+	}
 	ub, err := maxMatchingSize(fs)
 	if err != nil {
 		return nil, err

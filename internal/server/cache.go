@@ -33,11 +33,25 @@ type resultCache struct {
 	capacity int
 	order    *list.List // front = most recently used; values are *cacheEntry
 	entries  map[cacheKey]*list.Element
+	// aliases maps raw-identity keys onto the canonical entry whose body
+	// they share. An alias consumes no LRU slot of its own — only
+	// canonical entries occupy order/entries — so the byte-identical
+	// replay path (the loadgen warm path) no longer halves effective
+	// capacity, and a canonical entry can never be evicted while a raw
+	// alias to its body survives: eviction removes the pair.
+	aliases map[cacheKey]*list.Element
 }
 
+// maxAliasesPerEntry bounds how many raw-identity keys one canonical
+// entry may carry, so pathological clients re-spelling the same
+// scenario (reordered flows, renamed scenario, equivalent rate strings)
+// cannot grow the alias map without bound.
+const maxAliasesPerEntry = 8
+
 type cacheEntry struct {
-	key  cacheKey
-	body []byte
+	key     cacheKey
+	body    []byte
+	aliases []cacheKey // raw keys sharing this entry's slot
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -48,14 +62,19 @@ func newResultCache(capacity int) *resultCache {
 		capacity: capacity,
 		order:    list.New(),
 		entries:  make(map[cacheKey]*list.Element),
+		aliases:  make(map[cacheKey]*list.Element),
 	}
 }
 
-// get returns the cached body for key and refreshes its recency.
+// get returns the cached body for key — canonical or alias — and
+// refreshes the backing entry's recency.
 func (c *resultCache) get(key cacheKey) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
+	if !ok {
+		el, ok = c.aliases[key]
+	}
 	if !ok {
 		return nil, false
 	}
@@ -71,6 +90,10 @@ func (c *resultCache) put(key cacheKey, body []byte) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, body)
+}
+
+func (c *resultCache) putLocked(key cacheKey, body []byte) {
 	if el, ok := c.entries[key]; ok {
 		// Same key means same canonical scenario means same body; just
 		// refresh recency.
@@ -80,14 +103,59 @@ func (c *resultCache) put(key cacheKey, body []byte) {
 	for c.order.Len() >= c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.entries, e.key)
+		for _, a := range e.aliases {
+			delete(c.aliases, a)
+		}
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
 }
 
-// len returns the number of cached entries.
+// putAlias records alias as a capacity-free second name for the entry
+// under primary, sharing its body and LRU slot. When the primary is no
+// longer cached (evicted between compute and alias install) or its
+// alias list is full, the body is installed under alias as an ordinary
+// entry instead, so replays still hit.
+func (c *resultCache) putAlias(alias, primary cacheKey, body []byte) {
+	if c.capacity == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.aliases[alias]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	if _, ok := c.entries[alias]; ok {
+		return // already a canonical entry in its own right
+	}
+	el, ok := c.entries[primary]
+	if !ok {
+		c.putLocked(alias, body)
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	if len(e.aliases) >= maxAliasesPerEntry {
+		c.putLocked(alias, body)
+		return
+	}
+	e.aliases = append(e.aliases, alias)
+	c.aliases[alias] = el
+	c.order.MoveToFront(el)
+}
+
+// len returns the number of canonical cached entries (the count that
+// consumes capacity; aliases are excluded).
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// aliasLen returns the number of live alias keys.
+func (c *resultCache) aliasLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.aliases)
 }

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func key(op string, b byte) cacheKey {
+	return cacheKey{op: op, hash: [32]byte{b}}
+}
+
+// TestCacheAliasSharesSlot: a raw-identity alias shares its canonical
+// entry's LRU slot instead of consuming one of its own — the regression
+// where every computed result occupied two slots (halving effective
+// capacity) — and is evicted together with the entry it names.
+func TestCacheAliasSharesSlot(t *testing.T) {
+	c := newResultCache(2)
+	k1, r1 := key("search:lex", 1), key("raw:search:lex", 101)
+	k2, r2 := key("search:lex", 2), key("raw:search:lex", 102)
+	b1, b2 := []byte("body-1\n"), []byte("body-2\n")
+
+	c.put(k1, b1)
+	c.putAlias(r1, k1, b1)
+	c.put(k2, b2)
+	c.putAlias(r2, k2, b2)
+
+	// Two computed results fit a capacity-2 cache even with their raw
+	// aliases installed: aliases are capacity-free.
+	if c.len() != 2 || c.aliasLen() != 2 {
+		t.Fatalf("len = %d aliases = %d, want 2 and 2", c.len(), c.aliasLen())
+	}
+	for _, tc := range []struct {
+		k    cacheKey
+		want []byte
+	}{{k1, b1}, {r1, b1}, {k2, b2}, {r2, b2}} {
+		got, ok := c.get(tc.k)
+		if !ok || !bytes.Equal(got, tc.want) {
+			t.Errorf("get(%v) = %q, %v; want %q", tc.k.op, got, ok, tc.want)
+		}
+	}
+
+	// k1 is the least recently used primary (the gets above refreshed it
+	// last, so touch k2's pair after): evicting it must take its alias
+	// down too — an alias must never outlive the body it points at.
+	c.get(k2)
+	c.put(key("search:lex", 3), []byte("body-3\n"))
+	if _, ok := c.get(k1); ok {
+		t.Error("evicted primary still served")
+	}
+	if _, ok := c.get(r1); ok {
+		t.Error("alias survived its primary's eviction")
+	}
+	if c.aliasLen() != 1 {
+		t.Errorf("aliasLen = %d after pair eviction, want 1", c.aliasLen())
+	}
+	for _, k := range []cacheKey{k2, r2, key("search:lex", 3)} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("get(%v) missed after unrelated eviction", k)
+		}
+	}
+}
+
+// TestCacheAliasFallbacks covers the degraded paths: an alias whose
+// primary is already gone, a primary whose alias list is full, and the
+// zero-capacity cache. Replays must still hit in the first two cases
+// (the alias becomes an ordinary entry) and nothing is stored in the
+// third.
+func TestCacheAliasFallbacks(t *testing.T) {
+	c := newResultCache(4)
+	body := []byte("orphan\n")
+	orphan := key("raw:evaluate", 50)
+	c.putAlias(orphan, key("evaluate", 51), body)
+	if got, ok := c.get(orphan); !ok || !bytes.Equal(got, body) {
+		t.Errorf("orphan alias not installed as a regular entry: %q, %v", got, ok)
+	}
+	if c.len() != 1 || c.aliasLen() != 0 {
+		t.Errorf("len = %d aliases = %d after orphan install, want 1 and 0", c.len(), c.aliasLen())
+	}
+
+	// Fill one entry's alias list past maxAliasesPerEntry: the overflow
+	// alias falls back to a slot of its own, so it still hits.
+	primary := key("doom", 60)
+	c.put(primary, body)
+	for i := 0; i <= maxAliasesPerEntry; i++ {
+		c.putAlias(key("raw:doom", byte(70+i)), primary, body)
+	}
+	if c.aliasLen() != maxAliasesPerEntry {
+		t.Errorf("aliasLen = %d, want the %d cap", c.aliasLen(), maxAliasesPerEntry)
+	}
+	overflow := key("raw:doom", byte(70+maxAliasesPerEntry))
+	if _, ok := c.get(overflow); !ok {
+		t.Error("overflow alias missed; the fallback slot was not installed")
+	}
+
+	// Re-aliasing an existing alias and aliasing a key that is already
+	// canonical are both no-ops, not duplicates.
+	c.putAlias(key("raw:doom", 70), primary, body)
+	c.putAlias(primary, primary, body)
+	if c.aliasLen() != maxAliasesPerEntry {
+		t.Errorf("aliasLen = %d after no-op re-aliases, want %d", c.aliasLen(), maxAliasesPerEntry)
+	}
+
+	cold := newResultCache(0)
+	cold.putAlias(key("raw:evaluate", 1), key("evaluate", 2), body)
+	if cold.len() != 0 || cold.aliasLen() != 0 {
+		t.Error("zero-capacity cache stored an alias")
+	}
+}
+
+// TestCacheAliasCapacityPressure floods a small cache with alias pairs
+// and checks the invariant the fix establishes: the number of
+// capacity-consuming entries never exceeds the configured capacity, and
+// the most recent pair always hits.
+func TestCacheAliasCapacityPressure(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 20; i++ {
+		k := key("search:throughput", byte(i))
+		r := key("raw:search:throughput", byte(100+i))
+		body := []byte(fmt.Sprintf("body-%d\n", i))
+		c.put(k, body)
+		c.putAlias(r, k, body)
+		if c.len() > 3 {
+			t.Fatalf("round %d: %d entries exceed capacity 3", i, c.len())
+		}
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("round %d: fresh primary missed", i)
+		}
+		if _, ok := c.get(r); !ok {
+			t.Fatalf("round %d: fresh alias missed", i)
+		}
+	}
+	if c.aliasLen() > 3 {
+		t.Errorf("aliasLen = %d, exceeds the live primaries", c.aliasLen())
+	}
+}

@@ -316,6 +316,7 @@ type statsResponse struct {
 	Ops      []string `json:"ops"`
 	Cache    struct {
 		Entries  int `json:"entries"`
+		Aliases  int `json:"aliases"`
 		Capacity int `json:"capacity"`
 	} `json:"cache"`
 	Admission struct {
@@ -333,6 +334,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Draining = s.isDraining()
 	resp.Ops = s.eng.Ops()
 	resp.Cache.Entries = s.cache.len()
+	resp.Cache.Aliases = s.cache.aliasLen()
 	resp.Cache.Capacity = s.opts.CacheSize
 	resp.Admission.Workers = s.opts.Workers
 	resp.Admission.QueueDepth = s.opts.QueueDepth
@@ -394,7 +396,10 @@ func (s *Server) handleCompute(endpoint string) http.HandlerFunc {
 
 		status, respBody, cacheState := s.serveOp(r.Context(), p)
 		if status == http.StatusOK && cacheState != "coalesced" {
-			s.cache.put(rawKey, respBody)
+			// The raw key aliases the canonical entry serveOp installed:
+			// it shares that entry's body and LRU slot instead of
+			// consuming a second one (see resultCache.putAlias).
+			s.cache.putAlias(rawKey, cacheKey{op: p.Op, hash: p.Hash}, respBody)
 		}
 		s.reply(w, op, status, respBody, cacheState, start)
 	}
@@ -657,9 +662,21 @@ func resolveOp(endpoint string, r *http.Request) (string, error) {
 	}
 	switch objective {
 	case "lex", "throughput", "relative":
-		return "search:" + objective, nil
+	default:
+		return "", fmt.Errorf("unknown objective %q (lex, throughput, relative)", r.URL.Query().Get("objective"))
 	}
-	return "", fmt.Errorf("unknown objective %q (lex, throughput, relative)", r.URL.Query().Get("objective"))
+	op := "search:" + objective
+	switch strategy := r.URL.Query().Get("strategy"); strategy {
+	case "", "exhaustive":
+	case "pruned":
+		if objective == "relative" {
+			return "", fmt.Errorf("objective %q has no pruned strategy", objective)
+		}
+		op += ":pruned"
+	default:
+		return "", fmt.Errorf("unknown strategy %q (exhaustive, pruned)", strategy)
+	}
+	return op, nil
 }
 
 // reply writes one response and records it: request counter, latency

@@ -259,6 +259,7 @@ func TestHealthAndStats(t *testing.T) {
 	var stats struct {
 		Cache struct {
 			Entries  int `json:"entries"`
+			Aliases  int `json:"aliases"`
 			Capacity int `json:"capacity"`
 		} `json:"cache"`
 		Admission struct {
@@ -269,9 +270,9 @@ func TestHealthAndStats(t *testing.T) {
 	if err := json.Unmarshal(body, &stats); err != nil {
 		t.Fatalf("/v1/stats: bad JSON: %v", err)
 	}
-	// One computed result = two cache entries: the canonical-hash entry
-	// plus its raw-bytes alias.
-	if stats.Cache.Entries != 2 || stats.Admission.Workers != 1 {
+	// One computed result = one capacity-consuming cache entry (the
+	// canonical-hash entry) plus one capacity-free raw-bytes alias.
+	if stats.Cache.Entries != 1 || stats.Cache.Aliases != 1 || stats.Admission.Workers != 1 {
 		t.Errorf("unexpected stats: %s", body)
 	}
 	if stats.Metrics.Counters["server.requests"] == 0 {
