@@ -209,6 +209,31 @@ func BenchmarkEvaluator(b *testing.B) { evaluatorBench(b, false) }
 // promotion path, quantifying what the Rat64 kernel saves.
 func BenchmarkEvaluatorBigRat(b *testing.B) { evaluatorBench(b, true) }
 
+// BenchmarkEvaluatorBlock batches the same assignments through the SoA
+// block water filling (core.BlockEvaluator) 32 states at a time — the
+// search engine's default evaluation unit. ns/op is per state, directly
+// comparable to BenchmarkEvaluator.
+func BenchmarkEvaluatorBlock(b *testing.B) {
+	c, fs := enumInstance(b, 4, 8)
+	bev, err := core.NewBlockEvaluator(c, fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const block = 32
+	rng := rand.New(rand.NewSource(3))
+	mas := make([]int, block*len(fs))
+	for i := range mas {
+		mas[i] = 1 + rng.Intn(c.Size())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += block {
+		if _, err := bev.EvalBlock(mas, block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablation: symmetry canonicalization in exhaustive lex search ---------
 
 func searchInstance(b *testing.B) (*topology.Clos, core.Collection) {

@@ -14,16 +14,23 @@
 //   - bound-guided pruning: the branch-and-bound mode (Options.Pruned)
 //     vs the exhaustive canonical scan on the same instances, with the
 //     pruned-over-exhaustive state ratio published per pair
+//   - block evaluation: the SoA batch water filling (core.BlockEvaluator,
+//     the default search path) vs the per-state path (BlockSize -1) on
+//     the same instances, with the ns/op ratio published as
+//     block_speedup_c5
 //
 // Usage:
 //
 //	closbench                 print the JSON to stdout
 //	closbench -o BENCH.json   write it to a file
 //	closbench -o BENCH.json -force   overwrite even if the report shrinks
+//	closbench -only-block -min-block-speedup 1.5   CI smoke: C_5
+//	    block-vs-per-state pair only, non-zero exit below the bar
 //
 // Writing to an existing report file refuses to proceed when the new
-// report would carry fewer benchmark entries than the one on disk
-// (a shrinking report usually means a partial run); -force overrides.
+// report would carry fewer benchmark entries than the one on disk, or
+// would zero out a published speedup/reduction scalar (either usually
+// means a partial run); -force overrides.
 //
 // The shared observability flags of internal/obs (-trace, -metrics,
 // -cpuprofile, -memprofile, -debug-addr) are available as on every
@@ -39,6 +46,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"closnet/internal/adversary"
@@ -80,6 +88,11 @@ type Report struct {
 	// the same 7-flow C_5 instance — the headline gain of the pruned
 	// search mode. The acceptance bar is ≥ 5.
 	PruneReductionC5 float64 `json:"prune_reduction_c5"`
+	// BlockSpeedupC5 is the per-state canonical search ns/op over the
+	// SoA block-evaluation search ns/op on the same 7-flow C_5 instance
+	// (identical state count, bit-identical result). The acceptance bar
+	// is ≥ 2.
+	BlockSpeedupC5 float64 `json:"block_speedup_c5"`
 	// Obs is the final metrics-registry snapshot of the run, present only
 	// when closbench is invoked with -metrics.
 	Obs *obs.Snapshot `json:"observability,omitempty"`
@@ -187,6 +200,8 @@ func run(args []string) error {
 	fl := flag.NewFlagSet("closbench", flag.ContinueOnError)
 	out := fl.String("o", "", "write the JSON report to this file (default: stdout)")
 	force := fl.Bool("force", false, "overwrite -o even when the new report has fewer benchmarks than the existing file")
+	onlyBlock := fl.Bool("only-block", false, "run only the C_5 block-vs-per-state pair (the CI smoke subset)")
+	minBlockSpeedup := fl.Float64("min-block-speedup", 0, "exit non-zero when block_speedup_c5 falls below this (0 disables)")
 	ob := obs.AddFlags(fl)
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -202,11 +217,20 @@ func run(args []string) error {
 	}()
 	o := orun.Obs
 	// The engine is the one place search options are assembled; each
-	// bench tweaks only its space and worker count.
+	// bench tweaks only its space, worker count and evaluation path.
+	// The per-state rows pin BlockSize -1 (the legacy path) so the
+	// LexSearchBlock* rows have an explicit baseline to beat; everything
+	// is bit-identical either way.
 	eng := engine.New(engine.Options{Obs: o})
 	searchOpts := func(fullSpace bool, workers int) search.Options {
 		opts := eng.SearchOptions(context.Background())
 		opts.FullSpace, opts.Workers = fullSpace, workers
+		opts.BlockSize = -1
+		return opts
+	}
+	blockOpts := func(workers int) search.Options {
+		opts := eng.SearchOptions(context.Background())
+		opts.Workers = workers // BlockSize 0 = the default block path
 		return opts
 	}
 	prunedOpts := func() search.Options {
@@ -217,59 +241,84 @@ func run(args []string) error {
 
 	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 
-	fast, err := benchEvaluator(false)
-	if err != nil {
-		return err
-	}
-	big, err := benchEvaluator(true)
-	if err != nil {
-		return err
-	}
-	rep.Benches = append(rep.Benches, fast, big)
-	if fast.NsPerOp > 0 {
-		rep.EvaluatorSpeedup = float64(big.NsPerOp) / float64(fast.NsPerOp)
-	}
+	if !*onlyBlock {
+		fast, err := benchEvaluator(false)
+		if err != nil {
+			return err
+		}
+		big, err := benchEvaluator(true)
+		if err != nil {
+			return err
+		}
+		rep.Benches = append(rep.Benches, fast, big)
+		if fast.NsPerOp > 0 {
+			rep.EvaluatorSpeedup = float64(big.NsPerOp) / float64(fast.NsPerOp)
+		}
 
-	ex, err := adversary.Example23()
-	if err != nil {
-		return err
+		ex, err := adversary.Example23()
+		if err != nil {
+			return err
+		}
+		serialFull, err := benchLexSearch("LexSearchFullExample23",
+			ex.Clos, ex.Flows, searchOpts(true, 1))
+		if err != nil {
+			return err
+		}
+		serialCanon, err := benchLexSearch("LexSearchCanonicalExample23",
+			ex.Clos, ex.Flows, searchOpts(false, 1))
+		if err != nil {
+			return err
+		}
+		prunedEx, err := benchLexSearch("LexSearchPrunedExample23",
+			ex.Clos, ex.Flows, prunedOpts())
+		if err != nil {
+			return err
+		}
+		blockEx, err := benchLexSearch("LexSearchBlockExample23",
+			ex.Clos, ex.Flows, blockOpts(1))
+		if err != nil {
+			return err
+		}
+		rep.Benches = append(rep.Benches, serialFull, serialCanon, prunedEx, blockEx)
 	}
-	serialFull, err := benchLexSearch("LexSearchFullExample23",
-		ex.Clos, ex.Flows, searchOpts(true, 1))
-	if err != nil {
-		return err
-	}
-	serialCanon, err := benchLexSearch("LexSearchCanonicalExample23",
-		ex.Clos, ex.Flows, searchOpts(false, 1))
-	if err != nil {
-		return err
-	}
-	prunedEx, err := benchLexSearch("LexSearchPrunedExample23",
-		ex.Clos, ex.Flows, prunedOpts())
-	if err != nil {
-		return err
-	}
-	rep.Benches = append(rep.Benches, serialFull, serialCanon, prunedEx)
 
 	c5, fs5 := benchInstance(5, 7)
-	fullC5, err := benchLexSearch("LexSearchFullC5", c5, fs5, searchOpts(true, 0))
-	if err != nil {
-		return err
+	var fullC5 Bench
+	if !*onlyBlock {
+		fullC5, err = benchLexSearch("LexSearchFullC5", c5, fs5, searchOpts(true, 0))
+		if err != nil {
+			return err
+		}
+		rep.Benches = append(rep.Benches, fullC5)
 	}
 	canonC5, err := benchLexSearch("LexSearchCanonicalC5", c5, fs5, searchOpts(false, 0))
 	if err != nil {
 		return err
 	}
-	prunedC5, err := benchLexSearch("LexSearchPrunedC5", c5, fs5, prunedOpts())
+	blockC5, err := benchLexSearch("LexSearchBlockC5", c5, fs5, blockOpts(0))
 	if err != nil {
 		return err
 	}
-	rep.Benches = append(rep.Benches, fullC5, canonC5, prunedC5)
-	if canonC5.States > 0 {
-		rep.StateReductionC5 = float64(fullC5.States) / float64(canonC5.States)
+	rep.Benches = append(rep.Benches, canonC5, blockC5)
+	if !*onlyBlock {
+		prunedC5, err := benchLexSearch("LexSearchPrunedC5", c5, fs5, prunedOpts())
+		if err != nil {
+			return err
+		}
+		rep.Benches = append(rep.Benches, prunedC5)
+		if canonC5.States > 0 {
+			rep.StateReductionC5 = float64(fullC5.States) / float64(canonC5.States)
+		}
+		if prunedC5.States > 0 {
+			rep.PruneReductionC5 = float64(canonC5.States) / float64(prunedC5.States)
+		}
 	}
-	if prunedC5.States > 0 {
-		rep.PruneReductionC5 = float64(canonC5.States) / float64(prunedC5.States)
+	if blockC5.NsPerOp > 0 {
+		rep.BlockSpeedupC5 = float64(canonC5.NsPerOp) / float64(blockC5.NsPerOp)
+	}
+	if *minBlockSpeedup > 0 && rep.BlockSpeedupC5 < *minBlockSpeedup {
+		return fmt.Errorf("block_speedup_c5 = %.2f is below the -min-block-speedup bar %.2f",
+			rep.BlockSpeedupC5, *minBlockSpeedup)
 	}
 
 	if reg := o.Registry(); reg != nil {
@@ -286,17 +335,20 @@ func run(args []string) error {
 		_, err = os.Stdout.Write(blob)
 		return err
 	}
-	if err := guardOverwrite(*out, len(rep.Benches), *force); err != nil {
+	if err := guardOverwrite(*out, blob, *force); err != nil {
 		return err
 	}
 	return os.WriteFile(*out, blob, 0o644)
 }
 
-// guardOverwrite refuses to replace an existing report with one carrying
-// fewer benchmark entries — the signature of a partial run clobbering a
-// complete artifact — unless force is set. A missing or unparseable
-// existing file never blocks the write.
-func guardOverwrite(path string, newCount int, force bool) error {
+// guardOverwrite refuses to replace an existing report with one that
+// would lose information — fewer benchmark entries, or a published
+// headline scalar (any "*speedup*" or "*reduction*" key, e.g.
+// evaluator_speedup, block_speedup_c5, prune_reduction_c5) dropping to
+// zero or disappearing. Both are the signature of a partial run
+// clobbering a complete artifact; force overrides. A missing or
+// unparseable existing file never blocks the write.
+func guardOverwrite(path string, newBlob []byte, force bool) error {
 	if force {
 		return nil
 	}
@@ -308,9 +360,35 @@ func guardOverwrite(path string, newCount int, force bool) error {
 	if err := json.Unmarshal(data, &prev); err != nil {
 		return nil // not a report we understand: nothing to protect
 	}
-	if newCount < len(prev.Benches) {
+	var next Report
+	if err := json.Unmarshal(newBlob, &next); err != nil {
+		return fmt.Errorf("new report is not valid JSON: %w", err)
+	}
+	if len(next.Benches) < len(prev.Benches) {
 		return fmt.Errorf("refusing to overwrite %s: new report has %d benchmarks, existing has %d (use -force to override)",
-			path, newCount, len(prev.Benches))
+			path, len(next.Benches), len(prev.Benches))
+	}
+	// Scalar guard over the raw top-level keys, not the Report struct,
+	// so a scalar added later is protected without touching this code.
+	var prevRaw, nextRaw map[string]any
+	if err := json.Unmarshal(data, &prevRaw); err != nil {
+		return nil
+	}
+	if err := json.Unmarshal(newBlob, &nextRaw); err != nil {
+		return fmt.Errorf("new report is not valid JSON: %w", err)
+	}
+	for key, v := range prevRaw {
+		if !strings.Contains(key, "speedup") && !strings.Contains(key, "reduction") {
+			continue
+		}
+		f, ok := v.(float64)
+		if !ok || f == 0 {
+			continue
+		}
+		if nf, ok := nextRaw[key].(float64); !ok || nf == 0 {
+			return fmt.Errorf("refusing to overwrite %s: scalar %q (%.4g) would disappear from the report (use -force to override)",
+				path, key, f)
+		}
 	}
 	return nil
 }

@@ -7,16 +7,24 @@ import (
 	"testing"
 )
 
-func writeReport(t *testing.T, path string, benches int) {
+func reportBlob(t *testing.T, benches int, mutate func(*Report)) []byte {
 	t.Helper()
 	rep := Report{Benches: make([]Bench, benches)}
 	for i := range rep.Benches {
 		rep.Benches[i] = Bench{Name: "b", Iterations: 1}
 	}
+	if mutate != nil {
+		mutate(&rep)
+	}
 	blob, err := json.Marshal(rep)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return blob
+}
+
+func writeBlob(t *testing.T, path string, blob []byte) {
+	t.Helper()
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -28,28 +36,79 @@ func writeReport(t *testing.T, path string, benches int) {
 func TestGuardOverwrite(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_search.json")
 
-	if err := guardOverwrite(path, 1, false); err != nil {
+	if err := guardOverwrite(path, reportBlob(t, 1, nil), false); err != nil {
 		t.Errorf("missing file blocked the write: %v", err)
 	}
 
-	writeReport(t, path, 3)
-	if err := guardOverwrite(path, 2, false); err == nil {
+	writeBlob(t, path, reportBlob(t, 3, nil))
+	if err := guardOverwrite(path, reportBlob(t, 2, nil), false); err == nil {
 		t.Error("shrinking report overwrote without -force")
 	}
-	if err := guardOverwrite(path, 3, false); err != nil {
+	if err := guardOverwrite(path, reportBlob(t, 3, nil), false); err != nil {
 		t.Errorf("equal-size report blocked: %v", err)
 	}
-	if err := guardOverwrite(path, 4, false); err != nil {
+	if err := guardOverwrite(path, reportBlob(t, 4, nil), false); err != nil {
 		t.Errorf("larger report blocked: %v", err)
 	}
-	if err := guardOverwrite(path, 2, true); err != nil {
+	if err := guardOverwrite(path, reportBlob(t, 2, nil), true); err != nil {
 		t.Errorf("-force did not override: %v", err)
 	}
 
-	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := guardOverwrite(path, 0, false); err != nil {
+	writeBlob(t, path, []byte("not json"))
+	if err := guardOverwrite(path, reportBlob(t, 0, nil), false); err != nil {
 		t.Errorf("unparseable existing file blocked the write: %v", err)
+	}
+}
+
+// TestGuardOverwriteScalars: a report whose headline speedup/reduction
+// scalars would silently drop to zero (the signature of a partial run,
+// e.g. -only-block writing over the full artifact) is refused even when
+// the benchmark count holds steady.
+func TestGuardOverwriteScalars(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_search.json")
+	full := func(r *Report) {
+		r.EvaluatorSpeedup = 10.5
+		r.StateReductionC5 = 91.4
+		r.PruneReductionC5 = 6.2
+		r.BlockSpeedupC5 = 2.4
+	}
+	writeBlob(t, path, reportBlob(t, 3, full))
+
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		wantOK bool
+	}{
+		{"all scalars kept", full, true},
+		{"scalars changed but non-zero", func(r *Report) {
+			full(r)
+			r.BlockSpeedupC5 = 3.1
+			r.PruneReductionC5 = 5.0
+		}, true},
+		{"block speedup zeroed", func(r *Report) { full(r); r.BlockSpeedupC5 = 0 }, false},
+		{"prune reduction zeroed", func(r *Report) { full(r); r.PruneReductionC5 = 0 }, false},
+		{"evaluator speedup zeroed", func(r *Report) { full(r); r.EvaluatorSpeedup = 0 }, false},
+		{"state reduction zeroed", func(r *Report) { full(r); r.StateReductionC5 = 0 }, false},
+	}
+	for _, tc := range cases {
+		err := guardOverwrite(path, reportBlob(t, 3, tc.mutate), false)
+		if tc.wantOK && err != nil {
+			t.Errorf("%s: blocked: %v", tc.name, err)
+		}
+		if !tc.wantOK && err == nil {
+			t.Errorf("%s: scalar drop overwrote without -force", tc.name)
+		}
+	}
+
+	// -force overrides the scalar guard too.
+	if err := guardOverwrite(path, reportBlob(t, 3, func(r *Report) { full(r); r.BlockSpeedupC5 = 0 }), true); err != nil {
+		t.Errorf("-force did not override the scalar guard: %v", err)
+	}
+
+	// A prior report without the scalars (all zero) never blocks: there
+	// is nothing to lose.
+	writeBlob(t, path, reportBlob(t, 3, nil))
+	if err := guardOverwrite(path, reportBlob(t, 3, nil), false); err != nil {
+		t.Errorf("zero-scalar prior report blocked the write: %v", err)
 	}
 }

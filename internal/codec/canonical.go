@@ -125,6 +125,37 @@ func CanonicalHash(s *Scenario) (*Scenario, [32]byte, error) {
 	return c, sha256.Sum256(data), nil
 }
 
+// TopologyHash returns the SHA-256 address of the scenario's topology:
+// the shape (tors, servers, middles) plus the canonically ordered flow
+// list, with the name, demands and assignment stripped. Scenarios that
+// share a topology hash build the identical (Clos, Collection) pair
+// from Canonical(s).Build(), so evaluator state prepared for one can
+// evaluate any assignment of the other — the key of the serving
+// layer's shared-evaluator pool (internal/engine).
+//
+// Ties in the canonical flow sort that are broken by demand or
+// assignment only occur between flows identical in all four endpoint
+// indices, so the projected (src, dst) sequence — all the evaluator
+// sees — is uniquely determined by the hashed value: equal hashes can
+// never alias two different flow collections.
+func TopologyHash(s *Scenario) ([32]byte, error) {
+	c, err := Canonical(s)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	stripped := &Scenario{
+		Tors:    c.Tors,
+		Servers: c.Servers,
+		Middles: c.Middles,
+		Flows:   c.Flows,
+	}
+	data, err := json.Marshal(stripped)
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("codec: %w", err)
+	}
+	return sha256.Sum256(data), nil
+}
+
 // LoadFile reads and decodes a scenario file — the one JSON-reading
 // path shared by the CLIs and the closnetd daemon.
 func LoadFile(path string) (*Scenario, error) {

@@ -1,0 +1,73 @@
+package codec
+
+import "testing"
+
+func topoScenario() *Scenario {
+	return &Scenario{
+		Name: "a", Tors: 2, Servers: 2, Middles: 3,
+		Flows: []FlowJSON{
+			{SrcSwitch: 2, SrcServer: 1, DstSwitch: 1, DstServer: 1},
+			{SrcSwitch: 1, SrcServer: 1, DstSwitch: 2, DstServer: 1},
+		},
+		Demands:    []string{"1/2", "2/4"},
+		Assignment: []int{3, 1},
+	}
+}
+
+// TestTopologyHashInvariants: the topology hash ignores exactly the
+// parts of a scenario that do not change the (Clos, Collection) pair —
+// name, demands, assignment, flow order — and changes with everything
+// that does.
+func TestTopologyHashInvariants(t *testing.T) {
+	base, err := TopologyHash(topoScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same := []func(*Scenario){
+		func(s *Scenario) { s.Name = "renamed" },
+		func(s *Scenario) { s.Demands = []string{"7", "0"} },
+		func(s *Scenario) { s.Demands = nil },
+		func(s *Scenario) { s.Assignment = []int{1, 2} },
+		func(s *Scenario) { s.Assignment = nil },
+		func(s *Scenario) { // flow order (with parallel demand/assignment swap)
+			s.Flows[0], s.Flows[1] = s.Flows[1], s.Flows[0]
+			s.Demands[0], s.Demands[1] = s.Demands[1], s.Demands[0]
+			s.Assignment[0], s.Assignment[1] = s.Assignment[1], s.Assignment[0]
+		},
+	}
+	for i, mutate := range same {
+		s := topoScenario()
+		mutate(s)
+		h, err := TopologyHash(s)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if h != base {
+			t.Errorf("case %d: topology-preserving mutation changed the hash", i)
+		}
+	}
+
+	diff := []func(*Scenario){
+		func(s *Scenario) { s.Middles = 4 },
+		func(s *Scenario) { s.Servers = 3 },
+		func(s *Scenario) { s.Tors = 3 },
+		func(s *Scenario) { s.Flows[0].DstServer = 2 },
+		func(s *Scenario) { s.Flows = s.Flows[:1]; s.Demands = s.Demands[:1]; s.Assignment = s.Assignment[:1] },
+	}
+	for i, mutate := range diff {
+		s := topoScenario()
+		mutate(s)
+		h, err := TopologyHash(s)
+		if err != nil {
+			t.Fatalf("diff case %d: %v", i, err)
+		}
+		if h == base {
+			t.Errorf("diff case %d: topology-changing mutation kept the hash", i)
+		}
+	}
+
+	if _, err := TopologyHash(&Scenario{Tors: 0}); err == nil {
+		t.Error("invalid scenario hashed without error")
+	}
+}

@@ -99,6 +99,10 @@ type computeFunc func(ctx context.Context, e *Engine, canon *codec.Scenario, has
 type Engine struct {
 	opts Options
 	ops  map[string]computeFunc
+	// evals shares prepared block evaluators across requests with equal
+	// codec.TopologyHash — batch items sweeping assignments over one
+	// topology build the SoA evaluator once (evalpool.go).
+	evals *evalPool
 
 	mComputes *obs.Counter
 	mErrors   *obs.Counter
@@ -119,6 +123,7 @@ func New(opts Options) *Engine {
 			OpSearchThroughputPruned: searchOp("throughput", true),
 			OpDoom:                   computeDoom,
 		},
+		evals:     newEvalPool(opts.Obs),
 		mComputes: reg.Counter("engine.computes"),
 		mErrors:   reg.Counter("engine.errors"),
 		mLatency:  reg.Timer("engine.compute_latency"),

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"sync"
+
+	"closnet/internal/codec"
+	"closnet/internal/core"
+	"closnet/internal/obs"
+)
+
+// maxPooledTopologies bounds the number of distinct topology keys the
+// evaluator pool retains. Past the cap the oldest key is dropped FIFO —
+// its evaluators are garbage, and the next request for that topology
+// pays one rebuild. Batch workloads sweep assignments over a handful of
+// topologies, so a small cap captures all the reuse.
+const maxPooledTopologies = 64
+
+// maxPooledPerKey bounds the idle evaluators kept per topology: the
+// steady state needs about one per concurrent batch worker touching the
+// topology, and extras past the cap are dropped on put.
+const maxPooledPerKey = 16
+
+// evalPool shares prepared core.BlockEvaluators across requests whose
+// scenarios have the same codec.TopologyHash: the same (Clos,
+// Collection) pair up to canonical order, differing only in demands or
+// assignment. Building an evaluator walks every flow's paths and
+// allocates the SoA lanes; batch items sweeping assignments over one
+// topology would otherwise rebuild identical state per item.
+//
+// A BlockEvaluator is NOT safe for concurrent use (it water-fills on
+// shared scratch), so each key holds a free list: concurrent batch
+// workers check out distinct instances and return them. A plain
+// mutex-guarded stack, not a sync.Pool — reuse must be deterministic
+// (sync.Pool sheds entries under GC pressure and randomly in race
+// builds), and the evaluators are cheap enough to keep resident.
+type evalPool struct {
+	mu    sync.Mutex
+	free  map[[32]byte][]*core.BlockEvaluator
+	order [][32]byte // insertion order, for FIFO eviction
+
+	builds *obs.Counter // evaluators constructed (pool misses)
+	reuses *obs.Counter // evaluators checked out of a free list (hits)
+}
+
+func newEvalPool(o *obs.Obs) *evalPool {
+	reg := o.Registry()
+	return &evalPool{
+		free:   make(map[[32]byte][]*core.BlockEvaluator),
+		builds: reg.Counter("engine.evaluator_builds"),
+		reuses: reg.Counter("engine.evaluator_reuses"),
+	}
+}
+
+// get pops an idle evaluator for key, or nil. It also claims the key's
+// slot in the FIFO order on first sight, evicting the oldest key past
+// the cap.
+func (p *evalPool) get(key [32]byte) *core.BlockEvaluator {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stack, ok := p.free[key]
+	if !ok {
+		if len(p.order) >= maxPooledTopologies {
+			delete(p.free, p.order[0])
+			p.order = p.order[1:]
+		}
+		p.free[key] = nil
+		p.order = append(p.order, key)
+		return nil
+	}
+	if n := len(stack); n > 0 {
+		bev := stack[n-1]
+		stack[n-1] = nil
+		p.free[key] = stack[:n-1]
+		return bev
+	}
+	return nil
+}
+
+// put returns an evaluator to its key's free list. An evicted key or a
+// full list drops it — the evaluator is plain memory, nothing to close.
+func (p *evalPool) put(key [32]byte, bev *core.BlockEvaluator) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stack, ok := p.free[key]
+	if !ok || len(stack) >= maxPooledPerKey {
+		return
+	}
+	p.free[key] = append(stack, bev)
+}
+
+// acquire checks an evaluator for canon's topology out of the pool,
+// building (and instrumenting) a fresh one on a miss. The returned put
+// func returns the evaluator for reuse; callers must not touch the
+// evaluator or any scratch-aliasing BlockResult views after put.
+func (p *evalPool) acquire(canon *codec.Scenario, o *obs.Obs) (*core.BlockEvaluator, func(), error) {
+	key, err := codec.TopologyHash(canon)
+	if err != nil {
+		return nil, nil, err
+	}
+	if bev := p.get(key); bev != nil {
+		p.reuses.Inc()
+		return bev, func() { p.put(key, bev) }, nil
+	}
+	c, fs, _, _, err := canon.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	bev, err := core.NewBlockEvaluator(c, fs)
+	if err != nil {
+		return nil, nil, err
+	}
+	bev.Instrument(o)
+	p.builds.Inc()
+	return bev, func() { p.put(key, bev) }, nil
+}

@@ -1,0 +1,116 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"closnet/internal/codec"
+	"closnet/internal/engine"
+	"closnet/internal/obs"
+)
+
+// poolScenario is a 2-ToR, 2-middle topology with two cross-rack flows;
+// the assignment parameterizes the instance without changing its
+// topology hash.
+func poolScenario(assignment []int) *codec.Scenario {
+	return &codec.Scenario{
+		Tors: 2, Servers: 2, Middles: 2,
+		Flows: []codec.FlowJSON{
+			{SrcSwitch: 1, SrcServer: 1, DstSwitch: 2, DstServer: 1},
+			{SrcSwitch: 1, SrcServer: 2, DstSwitch: 2, DstServer: 2},
+		},
+		Assignment: assignment,
+	}
+}
+
+// TestEvaluatePoolSharesTopology: evaluate requests whose scenarios
+// share a topology hash share one prepared block evaluator — the second
+// request is a pool reuse, not a rebuild — while a different topology
+// builds its own.
+func TestEvaluatePoolSharesTopology(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Options{Obs: &obs.Obs{Reg: reg}})
+	ctx := context.Background()
+
+	run := func(s *codec.Scenario) []byte {
+		t.Helper()
+		resp, err := eng.Run(ctx, engine.Request{Op: engine.OpEvaluate, Scenario: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Body
+	}
+	b1 := run(poolScenario([]int{1, 1}))
+	b2 := run(poolScenario([]int{1, 2}))
+	if bytes.Equal(b1, b2) {
+		t.Fatal("different assignments produced identical evaluate bodies")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["engine.evaluator_builds"]; got != 1 {
+		t.Errorf("evaluator_builds = %d after two same-topology evaluates, want 1", got)
+	}
+	if got := snap.Counters["engine.evaluator_reuses"]; got != 1 {
+		t.Errorf("evaluator_reuses = %d after two same-topology evaluates, want 1", got)
+	}
+	if got := snap.Counters["core.block_fills"]; got < 2 {
+		t.Errorf("core.block_fills = %d, want >= 2 (evaluate runs through the block path)", got)
+	}
+
+	// A different topology (extra middle) must not reuse the pooled
+	// evaluator.
+	other := poolScenario([]int{1, 2})
+	other.Middles = 3
+	run(other)
+	if got := reg.Snapshot().Counters["engine.evaluator_builds"]; got != 2 {
+		t.Errorf("evaluator_builds = %d after a second topology, want 2", got)
+	}
+}
+
+// TestEvaluatePoolMatchesDirectPath: the pooled block path returns the
+// byte-identical evaluate body whether the evaluator was fresh or
+// reused, and whether or not a demands vector rides along (demands are
+// not part of the topology key).
+func TestEvaluatePoolMatchesDirectPath(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	ctx := context.Background()
+
+	s := poolScenario([]int{2, 1})
+	first, err := eng.Run(ctx, engine.Request{Op: engine.OpEvaluate, Scenario: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDemands := poolScenario([]int{2, 1})
+	withDemands.Demands = []string{"1/2", "3"}
+	again, err := eng.Run(ctx, engine.Request{Op: engine.OpEvaluate, Scenario: withDemands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The evaluate op ignores demands, but the canonical hash differs —
+	// only the bodies' rates and assignment must agree.
+	if !bytes.Contains(again.Body, []byte(`"rates":`)) {
+		t.Fatalf("unexpected body: %s", again.Body)
+	}
+	var a, b struct {
+		Assignment []int    `json:"assignment"`
+		Rates      []string `json:"rates"`
+	}
+	decode := func(body []byte, into any) {
+		t.Helper()
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("decode %s: %v", body, err)
+		}
+	}
+	decode(first.Body, &a)
+	decode(again.Body, &b)
+	if len(a.Rates) != len(b.Rates) {
+		t.Fatalf("rate counts differ: %v vs %v", a.Rates, b.Rates)
+	}
+	for i := range a.Rates {
+		if a.Rates[i] != b.Rates[i] {
+			t.Errorf("rate %d: %s (fresh) != %s (reused)", i, a.Rates[i], b.Rates[i])
+		}
+	}
+}

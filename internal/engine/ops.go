@@ -24,20 +24,29 @@ type evalResponse struct {
 }
 
 func computeEvaluate(ctx context.Context, e *Engine, canon *codec.Scenario, hash [32]byte) ([]byte, error) {
-	c, fs, _, ma, err := canon.Build()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Requests sharing a topology hash share one prepared block
+	// evaluator: a pool hit skips canon.Build() and the SoA lane
+	// construction entirely, and only the assignment below varies.
+	bev, put, err := e.evals.acquire(canon, e.opts.Obs)
 	if err != nil {
 		return nil, err
 	}
+	defer put()
+	ma := core.MiddleAssignment(canon.Assignment)
 	if ma == nil {
-		ma = core.UniformAssignment(len(fs), 1)
+		ma = core.UniformAssignment(len(canon.Flows), 1)
 	}
-	a, err := core.ClosMaxMinFairCtx(ctx, c, fs, ma)
+	res, err := bev.EvalBlock(ma, 1)
 	if err != nil {
 		return nil, err
 	}
+	a := res.Alloc(0)
 	resp := evalResponse{
 		Hash:       hex.EncodeToString(hash[:]),
-		Flows:      len(fs),
+		Flows:      len(canon.Flows),
 		Assignment: []int(ma),
 		Rates:      codec.RateStrings(a),
 		Throughput: rational.String(core.Throughput(a)),

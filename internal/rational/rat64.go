@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/big"
 	"math/bits"
+	"slices"
 )
 
 // Rat64 is an exact rational with a single machine word per component:
@@ -109,6 +110,28 @@ func (a Rat64) Cmp(b Rat64) int {
 		c = -c
 	}
 	return c
+}
+
+// CmpRat compares a against the *big.Rat b exactly, allocating nothing
+// when both components of b fit in int64 — the overwhelmingly common
+// case for the rates this library produces. The block search path uses
+// it to screen Rat64 candidate lanes against a *big.Rat incumbent
+// without materializing the candidate.
+func (a Rat64) CmpRat(b *big.Rat) int {
+	bn, bd := b.Num(), b.Denom()
+	if bn.IsInt64() && bd.IsInt64() {
+		// big.Rat is always normalized with positive denominator, so the
+		// components form a valid Rat64 directly.
+		return a.Cmp(Rat64{bn.Int64(), bd.Int64()})
+	}
+	return a.Rat().Cmp(b)
+}
+
+// Sort64 sorts v ascending in place, allocating nothing. Equal values
+// are interchangeable (Rat64 is normalized, so equality is structural),
+// so the instability of the underlying sort is unobservable.
+func Sort64(v []Rat64) {
+	slices.SortFunc(v, Rat64.Cmp)
 }
 
 // Add returns a+b with ok = false on overflow.

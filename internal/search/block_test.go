@@ -1,0 +1,89 @@
+package search
+
+import (
+	"testing"
+
+	"closnet/internal/core"
+	"closnet/internal/topology"
+)
+
+// blockObjectives are the search entry points whose objectives take the
+// block fast path (both implement blockCapable).
+func blockObjectives() map[string]func(*topology.Clos, core.Collection, Options) (*Result, error) {
+	return map[string]func(*topology.Clos, core.Collection, Options) (*Result, error){
+		"lex":        LexMaxMin,
+		"throughput": ThroughputMaxMin,
+	}
+}
+
+// TestBlockSearchEquivalence is the tentpole bit-identity proof of the
+// block evaluation path: over the adversarial corpus instances, the
+// block engine — default and deliberately ragged block sizes, serial
+// and sharded worker counts {1, 2, 4} — returns exactly the
+// assignment, allocation and state count of the per-state path
+// (BlockSize < 0), for both blockCapable objectives.
+func TestBlockSearchEquivalence(t *testing.T) {
+	for name, in := range equivalenceInstances(t) {
+		for objName, run := range blockObjectives() {
+			baseline, err := run(in.c, in.fs, Options{Workers: 1, BlockSize: -1})
+			if err != nil {
+				t.Fatalf("%s/%s per-state baseline: %v", name, objName, err)
+			}
+			for _, workers := range []int{1, 2, 4} {
+				for _, bs := range []int{0, 3} {
+					res, err := run(in.c, in.fs, Options{Workers: workers, BlockSize: bs})
+					if err != nil {
+						t.Fatalf("%s/%s workers=%d block=%d: %v", name, objName, workers, bs, err)
+					}
+					checkSameResult(t, name+"/"+objName+" block", workers, baseline, res)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockPrunedEquivalence: pruned mode evaluates its leaves through
+// the block evaluator; the incumbent must still be bit-identical to the
+// exhaustive per-state scan. States is not compared — pruned counts
+// bound plus leaf evaluations by design.
+func TestBlockPrunedEquivalence(t *testing.T) {
+	for name, in := range equivalenceInstances(t) {
+		for objName, run := range blockObjectives() {
+			baseline, err := run(in.c, in.fs, Options{Workers: 1, BlockSize: -1})
+			if err != nil {
+				t.Fatalf("%s/%s per-state baseline: %v", name, objName, err)
+			}
+			pruned, err := run(in.c, in.fs, Options{Pruned: true})
+			if err != nil {
+				t.Fatalf("%s/%s pruned: %v", name, objName, err)
+			}
+			if !sameAssignment(baseline.Assignment, pruned.Assignment) {
+				t.Errorf("%s/%s pruned: assignment %v != per-state %v",
+					name, objName, pruned.Assignment, baseline.Assignment)
+			}
+			if !baseline.Allocation.Equal(pruned.Allocation) {
+				t.Errorf("%s/%s pruned: allocation %v != per-state %v",
+					name, objName, pruned.Allocation, baseline.Allocation)
+			}
+		}
+	}
+}
+
+// TestBlockFullSpaceEquivalence: the block path is not canonical-space
+// specific — full-space enumeration under ragged block evaluation
+// matches the per-state full-space oracle exactly.
+func TestBlockFullSpaceEquivalence(t *testing.T) {
+	for name, in := range equivalenceInstances(t) {
+		serial, err := LexMaxMin(in.c, in.fs, Options{FullSpace: true, Workers: 1, BlockSize: -1})
+		if err != nil {
+			t.Fatalf("%s serial full-space: %v", name, err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			res, err := LexMaxMin(in.c, in.fs, Options{FullSpace: true, Workers: workers, BlockSize: 7})
+			if err != nil {
+				t.Fatalf("%s full-space block workers=%d: %v", name, workers, err)
+			}
+			checkSameResult(t, name+"/full-space block", workers, serial, res)
+		}
+	}
+}

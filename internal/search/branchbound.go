@@ -136,11 +136,11 @@ func runBranchBound(c *topology.Clos, fs core.Collection, opts Options, obj bbOb
 func bbRun(ctx context.Context, c *topology.Clos, fs core.Collection, space *canonSpace, opts Options, obj bbObjective, eo engineObs) (*Result, error) {
 	nf := len(fs)
 	n := c.Size()
-	ev, err := core.NewEvaluator(c, fs)
+	bev, err := core.NewBlockEvaluator(c, fs)
 	if err != nil {
 		return nil, err
 	}
-	ev.Instrument(eo.obs)
+	bev.Instrument(eo.obs)
 
 	var (
 		incVal   rational.Vec
@@ -165,6 +165,14 @@ func bbRun(ctx context.Context, c *topology.Clos, fs core.Collection, space *can
 	h := &bbHeap{&bbNode{}}
 	done := ctx.Done()
 	pops := 0
+	// Leaf evaluations are batched through the block evaluator: a node
+	// at depth |F|-1 has only leaf children (fixedFrom == 0 holds for
+	// every v, never for some), so one expansion yields up to n
+	// rank-contiguous fully fixed assignments — the natural block unit.
+	var (
+		leafBuf []int
+		leafLo  []int
+	)
 	for h.Len() > 0 {
 		if done != nil && pops&ctxCheckMask == 0 {
 			select {
@@ -186,6 +194,7 @@ func bbRun(ctx context.Context, c *topology.Clos, fs core.Collection, space *can
 			limit = n
 		}
 		childLo := node.lo
+		leafBuf, leafLo = leafBuf[:0], leafLo[:0]
 		for v := 1; v <= limit; v++ {
 			nm := node.max
 			if v > nm {
@@ -203,24 +212,10 @@ func bbRun(ctx context.Context, c *topology.Clos, fs core.Collection, space *can
 			}
 			ma[fixedFrom] = v
 			if fixedFrom == 0 {
-				// Leaf: one fully fixed assignment, evaluated exactly.
-				a, err := ev.Eval(ma)
-				if err != nil {
-					return nil, err
-				}
-				states++
-				eo.states.Inc()
-				val := obj.leafValue(a)
-				cmp := 1
-				if incRank >= 0 {
-					cmp = rational.LexCompare(val, incVal)
-				}
-				if cmp > 0 || (cmp == 0 && lo < incRank) {
-					incVal, incRank = val, lo
-					incMA, incAlloc = ma.Copy(), a
-					eo.improvements.Inc()
-					eo.j.Emit("search.incumbent", obs.F{"shard": 0, "rank": lo})
-				}
+				// Leaf: one fully fixed assignment, deferred into the
+				// node's block for one exact EvalBlock below.
+				leafBuf = append(leafBuf, ma...)
+				leafLo = append(leafLo, lo)
 				continue
 			}
 			bv, err := obj.bound(ma, fixedFrom)
@@ -238,6 +233,33 @@ func bbRun(ctx context.Context, c *topology.Clos, fs core.Collection, space *can
 			copy(digits, node.digits)
 			digits[d] = v
 			heap.Push(h, &bbNode{depth: d + 1, digits: digits, max: nm, lo: lo, bound: bv})
+		}
+		if len(leafLo) > 0 {
+			res, err := bev.EvalBlock(leafBuf, len(leafLo))
+			if err != nil {
+				return nil, err
+			}
+			// Leaves are processed in the same ascending-rank order the
+			// per-state loop evaluated them in, under identical
+			// comparison and tie rules, so the incumbent sequence is
+			// unchanged.
+			for i, lo := range leafLo {
+				a := res.Alloc(i)
+				states++
+				eo.states.Inc()
+				val := obj.leafValue(a)
+				cmp := 1
+				if incRank >= 0 {
+					cmp = rational.LexCompare(val, incVal)
+				}
+				if cmp > 0 || (cmp == 0 && lo < incRank) {
+					incVal, incRank = val, lo
+					incMA = core.MiddleAssignment(leafBuf[i*nf : (i+1)*nf]).Copy()
+					incAlloc = a
+					eo.improvements.Inc()
+					eo.j.Emit("search.incumbent", obs.F{"shard": 0, "rank": lo})
+				}
+			}
 		}
 	}
 	return &Result{Assignment: incMA, Allocation: incAlloc, States: states}, nil

@@ -37,6 +37,7 @@ import (
 
 	"closnet/internal/core"
 	"closnet/internal/obs"
+	"closnet/internal/rational"
 	"closnet/internal/topology"
 )
 
@@ -223,7 +224,7 @@ func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 		// the equivalence tests cross-check the engine against.
 		res, err = runSerial(ctx, c, fs, opts, newObjective, eo)
 	} else {
-		res, err = runSharded(ctx, c, fs, s, workers, newObjective, eo)
+		res, err = runSharded(ctx, c, fs, s, workers, opts.blockSize(), newObjective, eo)
 	}
 	if err == nil && ctx.Err() != nil {
 		// A run that is cancelled is cancelled, even when the enumeration
@@ -300,7 +301,21 @@ type shardIncumbent struct {
 	alloc core.Allocation
 }
 
-func runSharded(ctx context.Context, c *topology.Clos, fs core.Collection, s enumSpace, workers int, newObjective func() objective, eo engineObs) (*Result, error) {
+// blockCapable is the optional objective extension of the block
+// evaluation path: fastImproves screens one candidate's Rat64 rate lane
+// against the incumbent without materializing the allocation. ok =
+// false means the screen could not decide (a Rat64 sum overflowed) and
+// the engine falls back to the exact improves on the materialized
+// allocation. A (false, true) verdict MUST be exact — the state is
+// skipped for good — while a (true, true) verdict is always re-checked
+// through improves, so the screen only needs soundness on rejections.
+// Objectives without the extension (relative-max-min) evaluate per
+// state.
+type blockCapable interface {
+	fastImproves(rates []rational.Rat64) (improves, ok bool)
+}
+
+func runSharded(ctx context.Context, c *topology.Clos, fs core.Collection, s enumSpace, workers, blockSize int, newObjective func() objective, eo engineObs) (*Result, error) {
 	var (
 		stopRank atomic.Int64 // exclusive bound: ranks ≥ stopRank are unneeded
 		stopped  atomic.Bool  // some worker published a stop rank
@@ -346,17 +361,103 @@ func runSharded(ctx context.Context, c *topology.Clos, fs core.Collection, s enu
 		lo = hi
 	}
 
+	// runBlock is the block-evaluation worker loop: rank-contiguous
+	// blocks of assignments through one core.BlockEvaluator, with each
+	// state screened by the objective's Rat64 fastImproves before any
+	// allocation is materialized. Incumbent selection is bit-identical
+	// to the per-state loop below: states are processed in ascending
+	// rank, a screen rejection is exact, and a screen acceptance is
+	// re-checked through the same obj.improves the per-state loop runs.
+	// The stop rank is polled per block instead of per state, so a
+	// worker may evaluate up to blockSize-1 speculative states beyond a
+	// freshly published stop; like the per-state loop's speculative
+	// tail, those can never strictly improve (the stop rank certifies a
+	// global optimum) and the ascending-rank merge discards them.
+	runBlock := func(w, lo, hi int, obj objective, bc blockCapable) {
+		bev, err := core.NewBlockEvaluator(c, fs)
+		if err != nil {
+			fail(err)
+			return
+		}
+		bev.Instrument(eo.obs)
+		local := &incumbents[w]
+		local.rank = -1
+		nf := len(fs)
+		ma := make(core.MiddleAssignment, nf)
+		cur := s.cursor(lo, ma)
+		buf := make([]int, 0, blockSize*nf)
+		done := ctx.Done()
+		for rank := lo; rank < hi; {
+			if aborted.Load() || int64(rank) >= stopRank.Load() {
+				return
+			}
+			if done != nil {
+				select {
+				case <-done:
+					fail(ctx.Err())
+					return
+				default:
+				}
+			}
+			k := blockSize
+			if rank+k > hi {
+				k = hi - rank
+			}
+			buf = buf[:0]
+			for i := 0; i < k; i++ {
+				buf = append(buf, ma...)
+				cur.advance()
+			}
+			res, err := bev.EvalBlock(buf, k)
+			if err != nil {
+				fail(err)
+				return
+			}
+			evaluated[w] += k
+			eo.states.Add(int64(k))
+			for i := 0; i < k; i++ {
+				if !res.Promoted(i) {
+					if imp, ok := bc.fastImproves(res.Rates64(i)); ok && !imp {
+						continue
+					}
+				}
+				a := res.Alloc(i)
+				if !obj.improves(a) {
+					continue
+				}
+				obj.install(a)
+				local.rank = rank + i
+				local.ma = core.MiddleAssignment(buf[i*nf : (i+1)*nf]).Copy()
+				local.alloc = a
+				eo.improvements.Inc()
+				eo.j.Emit("search.incumbent", obs.F{"shard": w, "rank": rank + i})
+				if obj.optimal() {
+					lowerStop(int64(rank+i) + 1)
+					stopped.Store(true)
+					eo.earlyExits.Inc()
+					eo.j.Emit("search.stop_rank", obs.F{"shard": w, "rank": rank + i + 1})
+					return
+				}
+			}
+			rank += k
+		}
+	}
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			obj := newObjective()
+			if bc, ok := obj.(blockCapable); ok && blockSize > 1 {
+				runBlock(w, lo, hi, obj, bc)
+				return
+			}
 			ev, err := core.NewEvaluator(c, fs)
 			if err != nil {
 				fail(err)
 				return
 			}
 			ev.Instrument(eo.obs)
-			obj := newObjective()
 			local := &incumbents[w]
 			local.rank = -1
 			ma := make(core.MiddleAssignment, len(fs))

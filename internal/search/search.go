@@ -37,6 +37,12 @@ var ErrTooManyStates = errors.New("search: routing space exceeds state cap")
 // DefaultMaxStates bounds exhaustive enumeration: n^|F| assignments.
 const DefaultMaxStates = 1 << 21
 
+// DefaultBlockSize is the number of states the enumeration hands the
+// block evaluator per call when Options.BlockSize is 0. It matches the
+// cancellation polling cadence (ctxCheckMask + 1), so block mode polls
+// Options.Ctx exactly as often as the per-state path.
+const DefaultBlockSize = ctxCheckMask + 1
+
 // Options tunes the exhaustive optimizers.
 type Options struct {
 	// MaxStates caps the number of enumerated assignments
@@ -65,6 +71,15 @@ type Options struct {
 	// and k ≥ 2 uses exactly k workers. Every setting returns
 	// bit-identical results (see engine.go).
 	Workers int
+	// BlockSize is the number of states each enumeration worker hands
+	// the block evaluator per core.BlockEvaluator.EvalBlock call: 0 uses
+	// DefaultBlockSize, k ≥ 2 exactly k, and a negative value (or 1)
+	// disables block evaluation, restoring the per-state evaluation
+	// path — kept as the baseline the block benchmarks compare against.
+	// Every setting returns bit-identical results (see engine.go);
+	// objectives without a Rat64 candidate screen (relative-max-min)
+	// always evaluate per state.
+	BlockSize int
 	// Obs attaches the runtime observability layer to the search: state
 	// and incumbent counters in the metrics registry, shard/merge/stop
 	// events in the journal (see internal/obs). nil disables all
@@ -84,6 +99,19 @@ func (o Options) maxStates() int {
 		return DefaultMaxStates
 	}
 	return o.MaxStates
+}
+
+// blockSize resolves the Options.BlockSize policy to the per-EvalBlock
+// state count; 1 means the per-state path.
+func (o Options) blockSize() int {
+	switch {
+	case o.BlockSize < 0:
+		return 1
+	case o.BlockSize == 0:
+		return DefaultBlockSize
+	default:
+		return o.BlockSize
+	}
 }
 
 func (o Options) context() context.Context {
@@ -162,6 +190,31 @@ func enumerate(n, numFlows int, opts Options, visit func(core.MiddleAssignment) 
 type lexObjective struct {
 	bestSorted rational.Vec
 	candSorted rational.Vec
+	scratch64  []rational.Rat64
+}
+
+// fastImproves is the lex objective's Rat64 screen (blockCapable): the
+// candidate lane is sorted into a reused scratch and lex-compared
+// against the incumbent's sorted vector with allocation-free
+// Rat64-vs-big.Rat comparisons. The verdict is exact (ok is always
+// true: Rat64 comparison cannot overflow), so a rejection here is
+// final and the allocation is never materialized.
+func (o *lexObjective) fastImproves(rates []rational.Rat64) (bool, bool) {
+	s := append(o.scratch64[:0], rates...)
+	rational.Sort64(s)
+	o.scratch64 = s
+	if o.bestSorted == nil {
+		return true, true
+	}
+	for i, r := range s {
+		if i >= len(o.bestSorted) {
+			return true, true
+		}
+		if c := r.CmpRat(o.bestSorted[i]); c != 0 {
+			return c > 0, true
+		}
+	}
+	return false, true
 }
 
 func (o *lexObjective) improves(cand core.Allocation) bool {
@@ -204,6 +257,24 @@ type throughputObjective struct {
 	ub   *big.Rat
 	best *big.Rat
 	cand *big.Rat
+}
+
+// fastImproves is the throughput objective's Rat64 screen
+// (blockCapable): the candidate's total throughput is summed on Rat64.
+// An overflowing sum reports ok = false, deferring to the exact
+// improves on the materialized allocation.
+func (o *throughputObjective) fastImproves(rates []rational.Rat64) (bool, bool) {
+	sum := rational.Zero64()
+	for _, r := range rates {
+		var ok bool
+		if sum, ok = sum.Add(r); !ok {
+			return false, false
+		}
+	}
+	if o.best == nil {
+		return true, true
+	}
+	return sum.CmpRat(o.best) > 0, true
 }
 
 func (o *throughputObjective) improves(a core.Allocation) bool {

@@ -278,6 +278,14 @@ func TestHealthAndStats(t *testing.T) {
 	if stats.Metrics.Counters["server.requests"] == 0 {
 		t.Errorf("stats carry no request counter: %s", body)
 	}
+	// Evaluate requests run through the shared block evaluator, so the
+	// core block counters and the engine pool counters surface here.
+	if stats.Metrics.Counters["core.block_fills"] == 0 {
+		t.Errorf("stats carry no core.block_fills counter: %s", body)
+	}
+	if stats.Metrics.Counters["engine.evaluator_builds"] == 0 {
+		t.Errorf("stats carry no engine.evaluator_builds counter: %s", body)
+	}
 }
 
 // TestCoalescing holds the flight leader at the compute gate while
