@@ -390,5 +390,38 @@ func guardOverwrite(path string, newBlob []byte, force bool) error {
 				path, key, f)
 		}
 	}
+	// Quantile guard: a timer or histogram that published latency
+	// quantiles in the recorded snapshot must still exist in the new one
+	// — a run without -obs (or with an instrumentation regression)
+	// silently dropping the percentile series is exactly the partial-run
+	// clobber this guard exists for.
+	if prev.Obs != nil {
+		missing := func(kind, name string) error {
+			return fmt.Errorf("refusing to overwrite %s: recorded quantile series %s.%s would disappear from the report (use -force to override)",
+				path, kind, name)
+		}
+		for name, ts := range prev.Obs.Timers {
+			if ts.P99Ns == 0 {
+				continue
+			}
+			if next.Obs == nil {
+				return missing("timers", name)
+			}
+			if _, ok := next.Obs.Timers[name]; !ok {
+				return missing("timers", name)
+			}
+		}
+		for name, hs := range prev.Obs.Histograms {
+			if hs.Count == 0 {
+				continue
+			}
+			if next.Obs == nil {
+				return missing("histograms", name)
+			}
+			if _, ok := next.Obs.Histograms[name]; !ok {
+				return missing("histograms", name)
+			}
+		}
+	}
 	return nil
 }

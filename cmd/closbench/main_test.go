@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"closnet/internal/obs"
 )
 
 func reportBlob(t *testing.T, benches int, mutate func(*Report)) []byte {
@@ -110,5 +113,62 @@ func TestGuardOverwriteScalars(t *testing.T) {
 	writeBlob(t, path, reportBlob(t, 3, nil))
 	if err := guardOverwrite(path, reportBlob(t, 3, nil), false); err != nil {
 		t.Errorf("zero-scalar prior report blocked the write: %v", err)
+	}
+}
+
+// TestGuardOverwriteQuantiles: a recorded observability snapshot with
+// timer or histogram quantile series must survive into the new report
+// — a run that lost its instrumentation cannot silently clobber the
+// percentiles — while empty series never block, and -force overrides.
+func TestGuardOverwriteQuantiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_search.json")
+	withObs := func(r *Report) {
+		r.Obs = &obs.Snapshot{
+			Timers: map[string]obs.TimerStats{
+				"search.duration": {Count: 12, P50Ns: 100, P90Ns: 200, P99Ns: 300},
+				"never.observed":  {},
+			},
+			Histograms: map[string]obs.HistogramStats{
+				"core.fill": {Count: 7, P99Ns: 50},
+			},
+		}
+	}
+	writeBlob(t, path, reportBlob(t, 3, withObs))
+
+	if err := guardOverwrite(path, reportBlob(t, 3, withObs), false); err != nil {
+		t.Errorf("quantiles kept but write blocked: %v", err)
+	}
+	// Dropping the whole snapshot, the recorded timer, or the recorded
+	// histogram is refused, and the error names the lost series.
+	for name, mutate := range map[string]func(*Report){
+		"snapshot dropped": func(r *Report) {},
+		"timer dropped": func(r *Report) {
+			withObs(r)
+			delete(r.Obs.Timers, "search.duration")
+		},
+		"histogram dropped": func(r *Report) {
+			withObs(r)
+			delete(r.Obs.Histograms, "core.fill")
+		},
+	} {
+		err := guardOverwrite(path, reportBlob(t, 3, mutate), false)
+		if err == nil {
+			t.Errorf("%s: overwrote without -force", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "quantile series") {
+			t.Errorf("%s: error does not name the quantile series: %v", name, err)
+		}
+	}
+	// The never-observed timer (P99 == 0) holds no quantiles; dropping
+	// only it is fine.
+	if err := guardOverwrite(path, reportBlob(t, 3, func(r *Report) {
+		withObs(r)
+		delete(r.Obs.Timers, "never.observed")
+	}), false); err != nil {
+		t.Errorf("empty timer blocked the write: %v", err)
+	}
+	if err := guardOverwrite(path, reportBlob(t, 3, nil), true); err != nil {
+		t.Errorf("-force did not override the quantile guard: %v", err)
 	}
 }

@@ -136,3 +136,21 @@ func TestBadFlag(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+// TestLoadgenRejectsBadValues: semantically invalid load settings exit
+// non-zero with a diagnostic instead of silently measuring nothing.
+func TestLoadgenRejectsBadValues(t *testing.T) {
+	for name, args := range map[string][]string{
+		"zero conns":     {"loadgen", "-conns", "0", "-requests", "1"},
+		"negative conns": {"loadgen", "-conns", "-3", "-requests", "1"},
+		"negative rps":   {"loadgen", "-rps", "-1", "-requests", "1"},
+		"negative reqs":  {"loadgen", "-requests", "-5"},
+		"zero window":    {"loadgen", "-duration", "0s"},
+		"bad duration":   {"loadgen", "-duration", "fast"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("%s (%v): accepted", name, args)
+		}
+	}
+}

@@ -182,9 +182,12 @@ func (e *Engine) Compute(ctx context.Context, p *Prepared) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown op %q (known: %v)", p.Op, e.Ops())
 	}
+	sp, ctx := obs.StartSpan(ctx, "engine.compute")
+	sp.Attr("op", p.Op)
 	start := time.Now()
 	body, err := fn(ctx, e, p.Canon, p.Hash)
 	elapsed := time.Since(start)
+	sp.Attr("ok", err == nil).End()
 	e.mComputes.Inc()
 	e.mLatency.Observe(elapsed)
 	ok = err == nil

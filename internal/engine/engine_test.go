@@ -10,6 +10,7 @@ import (
 	"closnet/internal/codec"
 	"closnet/internal/corpus"
 	"closnet/internal/engine"
+	"closnet/internal/obs"
 )
 
 // batchRequests builds a mixed-op request list over the paper corpus:
@@ -210,5 +211,60 @@ func TestSearchRelativeNeedsDemands(t *testing.T) {
 	}
 	if _, err := eng.Run(context.Background(), engine.Request{Op: engine.OpSearchRelative, Scenario: s}); err == nil {
 		t.Error("relative search without demands succeeded")
+	}
+}
+
+// TestComputeSpans: a traced search request produces the nested span
+// chain engine.compute → search.run → search.shard → core.block_fill,
+// and an untraced context leaves the engine span-free with identical
+// bodies — tracing must never perturb results.
+func TestComputeSpans(t *testing.T) {
+	ex, _, err := corpus.Scenarios(0, []string{"example23"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{SearchWorkers: 1})
+	req := engine.Request{Op: engine.OpSearchLex, Scenario: ex[0]}
+
+	plain, err := eng.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTrace(nil)
+	root := tr.StartSpan("server.request")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	traced, err := eng.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if !bytes.Equal(plain.Body, traced.Body) {
+		t.Errorf("tracing changed the response body:\n%s\n%s", plain.Body, traced.Body)
+	}
+
+	spans := tr.Spans()
+	byName := map[string]obs.SpanRecord{}
+	byID := map[int64]obs.SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		byID[s.ID] = s
+	}
+	for _, chain := range [][2]string{
+		{"engine.compute", "server.request"},
+		{"search.run", "engine.compute"},
+		{"search.shard", "search.run"},
+		{"core.block_fill", "search.shard"},
+	} {
+		child, ok := byName[chain[0]]
+		if !ok {
+			t.Fatalf("no %s span in %d spans", chain[0], len(spans))
+		}
+		if parent := byID[child.Parent]; parent.Name != chain[1] {
+			t.Errorf("%s parent is %q, want %q", chain[0], parent.Name, chain[1])
+		}
+	}
+	if got := byName["engine.compute"].Attrs["op"]; got != engine.OpSearchLex {
+		t.Errorf("engine.compute op attr %v", got)
 	}
 }

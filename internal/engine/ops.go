@@ -8,6 +8,7 @@ import (
 	"closnet/internal/codec"
 	"closnet/internal/core"
 	"closnet/internal/doom"
+	"closnet/internal/obs"
 	"closnet/internal/rational"
 	"closnet/internal/search"
 )
@@ -39,7 +40,9 @@ func computeEvaluate(ctx context.Context, e *Engine, canon *codec.Scenario, hash
 	if ma == nil {
 		ma = core.UniformAssignment(len(canon.Flows), 1)
 	}
+	sp, _ := obs.StartSpan(ctx, "core.block_fill")
 	res, err := bev.EvalBlock(ma, 1)
+	sp.Attr("block", 1).End()
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +139,9 @@ func computeDoom(ctx context.Context, e *Engine, canon *codec.Scenario, hash [32
 	if err != nil {
 		return nil, err
 	}
+	sp, ctx := obs.StartSpan(ctx, "doom.route")
 	res, err := doom.RouteCtx(ctx, c, fs, doom.LeastLoaded(), e.opts.Obs)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

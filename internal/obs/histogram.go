@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numHistBuckets covers the full positive int64 nanosecond range at two
+// sub-buckets per octave: values with floor(log2 v) = k land in bucket
+// 2k or 2k+1 depending on whether they fall in the lower or upper half
+// of the octave. k ≤ 62 for any int64 duration, so 126 buckets suffice;
+// 128 keeps the array power-of-two sized.
+const numHistBuckets = 128
+
+// Histogram is a lock-free log-bucketed duration histogram: fixed
+// nanosecond buckets at two sub-buckets per octave, atomically updated
+// counts, an exact sum and an exact maximum. The zero value is ready to
+// use and a nil *Histogram is a no-op, following the Counter/Gauge/
+// Timer convention, so hot paths hold handles unconditionally and pay a
+// single nil check with zero allocations when observability is off.
+//
+// Quantile estimates carry a documented error bound: the estimate for a
+// true quantile value v satisfies v ≤ estimate < 1.5·v, because a
+// bucket spanning [L, U] is reported by its inclusive upper bound U and
+// U/L < 1.5 for every bucket (the estimate is additionally clamped to
+// the exact observed maximum, which can only tighten it). The bound is
+// asserted by a property test against sorted reference samples.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numHistBuckets]atomic.Int64
+}
+
+// bucketIndex maps a nanosecond value to its bucket. Non-positive
+// values and 1 share bucket 0; for v ≥ 2 with k = floor(log2 v) the
+// bucket is 2k when v < 1.5·2^k and 2k+1 otherwise (equivalently: on
+// bit k-1 of v).
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	k := bits.Len64(uint64(v)) - 1 // k ≥ 1
+	idx := 2 * k
+	if v&(1<<(k-1)) != 0 {
+		idx++
+	}
+	return idx
+}
+
+// bucketUpper returns the inclusive upper nanosecond bound of bucket
+// idx: 3·2^(k-1) − 1 for bucket 2k (the lower half-octave), 2^(k+1) − 1
+// for bucket 2k+1. Bucket 0 is the single value 1 (which also absorbs
+// non-positive observations).
+func bucketUpper(idx int) int64 {
+	k := idx / 2
+	if idx%2 == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 3<<(k-1) - 1
+	}
+	if k >= 62 {
+		return math.MaxInt64
+	}
+	return 1<<(k+1) - 1
+}
+
+// Observe records one duration. Lock-free, zero allocations, safe for
+// concurrent use; a no-op on a nil histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.observe(d.Nanoseconds())
+}
+
+func (h *Histogram) observe(ns int64) {
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// snapshotBuckets copies the bucket counts and returns the copy's total
+// and the index past the last non-empty bucket. Deriving the total from
+// the copy (rather than h.count) keeps every invariant computed from
+// one snapshot internally consistent under concurrent observation.
+func (h *Histogram) snapshotBuckets() (counts [numHistBuckets]int64, total int64, end int) {
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+		if c > 0 {
+			end = i + 1
+		}
+	}
+	return counts, total, end
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) in nanoseconds: the
+// inclusive upper bound of the bucket holding the ceil(q·count)-th
+// smallest observation, clamped to the exact observed maximum. Returns
+// 0 on a nil or empty histogram. The estimate e of a true value v
+// satisfies v ≤ e < 1.5·v.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	counts, total, end := h.snapshotBuckets()
+	return quantileOf(&counts, total, end, q, h.max.Load())
+}
+
+func quantileOf(counts *[numHistBuckets]int64, total int64, end int, q float64, max int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < end; i++ {
+		cum += counts[i]
+		if cum >= rank {
+			if u := bucketUpper(i); u < max {
+				return u
+			}
+			return max
+		}
+	}
+	return max
+}
+
+// HistogramStats is the JSON-serializable aggregate of a Histogram:
+// exact count, sum and max plus the estimated p50/p90/p99 (see the
+// Quantile error bound).
+type HistogramStats struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	MaxNs int64 `json:"max_ns"`
+	P50Ns int64 `json:"p50_ns"`
+	P90Ns int64 `json:"p90_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// Stats returns the histogram's aggregates, all three quantiles derived
+// from one consistent bucket snapshot (zero HistogramStats on nil or
+// when nothing was observed).
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	counts, total, end := h.snapshotBuckets()
+	if total == 0 {
+		return HistogramStats{}
+	}
+	max := h.max.Load()
+	return HistogramStats{
+		Count: total,
+		SumNs: h.sum.Load(),
+		MaxNs: max,
+		P50Ns: quantileOf(&counts, total, end, 0.50, max),
+		P90Ns: quantileOf(&counts, total, end, 0.90, max),
+		P99Ns: quantileOf(&counts, total, end, 0.99, max),
+	}
+}
+
+// HistBucket is one cumulative exposition bucket: the count of
+// observations ≤ UpperNs.
+type HistBucket struct {
+	UpperNs int64
+	Count   int64
+}
+
+// CumulativeBuckets returns the histogram's occupied buckets as
+// cumulative counts in strictly ascending bound order (the Prometheus
+// exposition shape), plus the snapshot's total count. Empty buckets are
+// elided — cumulative series need no contiguity, and eliding them also
+// drops the one degenerate bucket (index 1, the upper half of octave 0,
+// which no integer nanosecond value can land in) whose bound collides
+// with bucket 0's. The final bucket count always equals the total,
+// which WritePrometheus renders as the +Inf series and _count sample.
+func (h *Histogram) CumulativeBuckets() ([]HistBucket, int64) {
+	if h == nil {
+		return nil, 0
+	}
+	counts, total, end := h.snapshotBuckets()
+	out := make([]HistBucket, 0, end)
+	var cum int64
+	for i := 0; i < end; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		cum += counts[i]
+		out = append(out, HistBucket{UpperNs: bucketUpper(i), Count: cum})
+	}
+	return out, total
+}

@@ -76,18 +76,19 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
-// Timer aggregates durations histogram-style: count, sum, min and max,
-// all in nanoseconds and all updated atomically. A nil *Timer is a
+// Timer aggregates durations: count, sum, min, max and a log-bucketed
+// latency histogram, all in nanoseconds and all updated atomically, so
+// every registered timer reports p50/p90/p99 estimates (see Histogram
+// for the bucket math and the quantile error bound). A nil *Timer is a
 // no-op.
 type Timer struct {
-	count atomic.Int64
-	sum   atomic.Int64
-	min   atomic.Int64 // initialized to MaxInt64 by the registry
-	max   atomic.Int64
+	min atomic.Int64 // primed to MaxInt64 by the registry
+	h   Histogram    // owns count, sum, max and the buckets
 }
 
 // newTimer returns a Timer whose min is primed so the first observation
-// always wins.
+// always wins. Stats masks the sentinel: an unobserved timer reports
+// zero-valued TimerStats, never the primed MaxInt64.
 func newTimer() *Timer {
 	t := &Timer{}
 	t.min.Store(math.MaxInt64)
@@ -100,46 +101,57 @@ func (t *Timer) Observe(d time.Duration) {
 		return
 	}
 	ns := d.Nanoseconds()
-	t.count.Add(1)
-	t.sum.Add(ns)
+	t.h.observe(ns)
 	for {
 		cur := t.min.Load()
 		if ns >= cur || t.min.CompareAndSwap(cur, ns) {
 			break
 		}
 	}
-	for {
-		cur := t.max.Load()
-		if ns <= cur || t.max.CompareAndSwap(cur, ns) {
-			break
-		}
-	}
 }
 
 // Stats returns the timer's aggregates (zero TimerStats on nil or when
-// nothing was observed).
+// nothing was observed — a registered-but-never-observed timer must
+// report 0, not the primed sentinel min).
 func (t *Timer) Stats() TimerStats {
 	if t == nil {
 		return TimerStats{}
 	}
-	s := TimerStats{
-		Count: t.count.Load(),
-		SumNs: t.sum.Load(),
+	hs := t.h.Stats()
+	if hs.Count == 0 {
+		return TimerStats{}
+	}
+	return TimerStats{
+		Count: hs.Count,
+		SumNs: hs.SumNs,
 		MinNs: t.min.Load(),
-		MaxNs: t.max.Load(),
+		MaxNs: hs.MaxNs,
+		P50Ns: hs.P50Ns,
+		P90Ns: hs.P90Ns,
+		P99Ns: hs.P99Ns,
 	}
-	if s.Count == 0 {
-		s.MinNs = 0
-	}
-	return s
 }
 
-// TimerStats is the JSON-serializable aggregate of a Timer.
+// hist exposes the timer's histogram to the Prometheus exposition
+// writer, which renders every timer as a cumulative-bucket series.
+func (t *Timer) hist() *Histogram {
+	if t == nil {
+		return nil
+	}
+	return &t.h
+}
+
+// TimerStats is the JSON-serializable aggregate of a Timer. The
+// quantiles are histogram estimates (exact count/sum/min/max; see the
+// Histogram error bound).
 type TimerStats struct {
 	Count int64 `json:"count"`
 	SumNs int64 `json:"sum_ns"`
 	MinNs int64 `json:"min_ns"`
 	MaxNs int64 `json:"max_ns"`
+	P50Ns int64 `json:"p50_ns,omitempty"`
+	P90Ns int64 `json:"p90_ns,omitempty"`
+	P99Ns int64 `json:"p99_ns,omitempty"`
 }
 
 // Registry names and hands out metric handles. Handles are created on
@@ -149,18 +161,20 @@ type TimerStats struct {
 // zero allocations on the instrumented paths; this is the intended
 // "off" state.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an enabled, empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -212,13 +226,33 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it if needed. Returns
+// nil on a nil registry. Timers already carry a histogram internally;
+// a standalone registry histogram is for distributions that are not
+// durations observed around a code region (e.g. client-side latencies
+// fed from elsewhere).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Snapshot is a point-in-time copy of every registered metric,
 // JSON-serializable (it is embedded in BENCH_search.json and served
 // over expvar).
 type Snapshot struct {
-	Counters map[string]int64      `json:"counters,omitempty"`
-	Gauges   map[string]int64      `json:"gauges,omitempty"`
-	Timers   map[string]TimerStats `json:"timers,omitempty"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Timers     map[string]TimerStats     `json:"timers,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the current metric values. Safe to call concurrently
@@ -246,6 +280,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Timers = make(map[string]TimerStats, len(r.timers))
 		for name, t := range r.timers {
 			s.Timers[name] = t.Stats()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramStats, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.Stats()
 		}
 	}
 	return s
@@ -292,11 +332,28 @@ func WriteSummary(w io.Writer, snap Snapshot, elapsed time.Duration) {
 	sort.Strings(timerNames)
 	for _, name := range timerNames {
 		ts := snap.Timers[name]
-		fmt.Fprintf(w, "obs:   timer   %-28s count=%d sum=%s min=%s max=%s\n",
+		fmt.Fprintf(w, "obs:   timer   %-28s count=%d sum=%s min=%s p50=%s p90=%s p99=%s max=%s\n",
 			name, ts.Count,
 			time.Duration(ts.SumNs).Round(time.Microsecond),
 			time.Duration(ts.MinNs).Round(time.Microsecond),
+			time.Duration(ts.P50Ns).Round(time.Microsecond),
+			time.Duration(ts.P90Ns).Round(time.Microsecond),
+			time.Duration(ts.P99Ns).Round(time.Microsecond),
 			time.Duration(ts.MaxNs).Round(time.Microsecond))
+	}
+	histNames := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		hs := snap.Histograms[name]
+		fmt.Fprintf(w, "obs:   hist    %-28s count=%d p50=%s p90=%s p99=%s max=%s\n",
+			name, hs.Count,
+			time.Duration(hs.P50Ns).Round(time.Microsecond),
+			time.Duration(hs.P90Ns).Round(time.Microsecond),
+			time.Duration(hs.P99Ns).Round(time.Microsecond),
+			time.Duration(hs.MaxNs).Round(time.Microsecond))
 	}
 	if states := snap.Counters["search.states"]; states > 0 {
 		if d := snap.Timers["search.duration"]; d.SumNs > 0 {

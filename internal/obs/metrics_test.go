@@ -104,6 +104,8 @@ func TestDisabledNoAlloc(t *testing.T) {
 		c  *Counter
 		g  *Gauge
 		tm *Timer
+		h  *Histogram
+		sp *Span
 		j  *Journal
 	)
 	allocs := testing.AllocsPerRun(1000, func() {
@@ -112,6 +114,9 @@ func TestDisabledNoAlloc(t *testing.T) {
 		g.Set(7)
 		g.Add(-1)
 		tm.Observe(time.Millisecond)
+		h.Observe(time.Millisecond)
+		_ = h.Quantile(0.5)
+		sp.Child("x").Attr("k", 1).End()
 		j.Emit("ev", nil)
 		_ = c.Value()
 		_ = g.Value()

@@ -1,0 +1,25 @@
+// Command promlint validates a Prometheus text exposition on stdin with
+// obs.LintExposition — the CI metrics smoke's promtool stand-in:
+//
+//	curl -s localhost:8427/metrics | go run ./internal/obs/promlint
+//
+// Exit 0 when the exposition parses and every histogram family holds
+// the format's invariants (ascending le bounds, cumulative counts,
+// +Inf/_sum/_count agreement); exit 1 with the first violation
+// otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"closnet/internal/obs"
+)
+
+func main() {
+	if err := obs.LintExposition(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTraceSpanTree: spans nest by parent ID, carry attrs, and are
+// journaled as "span" events tagged with the trace ID.
+func TestTraceSpanTree(t *testing.T) {
+	var sb strings.Builder
+	j := NewJournal(&sb, WithRunID("run0"), WithClock(func() int64 { return 7 }))
+	tr := NewTrace(j)
+	if len(tr.ID()) != 8 {
+		t.Fatalf("trace ID %q, want 8 hex chars", tr.ID())
+	}
+
+	root := tr.StartSpan("server.request")
+	child := root.Child("engine.compute").Attr("op", "evaluate")
+	grand := child.Child("core.block_fill")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Completion order: leaf first.
+	if spans[0].Name != "core.block_fill" || spans[1].Name != "engine.compute" || spans[2].Name != "server.request" {
+		t.Fatalf("span order %v", spans)
+	}
+	if spans[2].Parent != 0 || spans[1].Parent != spans[2].ID || spans[0].Parent != spans[1].ID {
+		t.Fatalf("span parents broken: %+v", spans)
+	}
+	if spans[1].Attrs["op"] != "evaluate" {
+		t.Fatalf("attrs %v", spans[1].Attrs)
+	}
+
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal carries %d lines, want 3", len(lines))
+	}
+	var ev struct {
+		Ev     string `json:"ev"`
+		Fields struct {
+			Trace  string `json:"trace"`
+			Name   string `json:"name"`
+			Parent int64  `json:"parent"`
+		} `json:"fields"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Ev != "span" || ev.Fields.Trace != tr.ID() || ev.Fields.Name != "core.block_fill" || ev.Fields.Parent == 0 {
+		t.Fatalf("journaled span event %+v", ev)
+	}
+}
+
+// TestTraceSpanCap: past maxTraceSpans, spans are dropped and counted,
+// never retained or journaled — a traced search request has a fixed
+// footprint.
+func TestTraceSpanCap(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTrace(NewJournal(&sb))
+	root := tr.StartSpan("root")
+	for i := 0; i < maxTraceSpans+50; i++ {
+		root.Child("block").End()
+	}
+	root.End()
+	if got := len(tr.Spans()); got != maxTraceSpans {
+		t.Errorf("retained %d spans, want %d", got, maxTraceSpans)
+	}
+	if got := tr.Dropped(); got != 51 { // 50 extra children + the root itself
+		t.Errorf("dropped %d spans, want 51", got)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != maxTraceSpans {
+		t.Errorf("journaled %d span events, want %d", got, maxTraceSpans)
+	}
+}
+
+// TestTraceConcurrentSpans: spans ending from many goroutines (the
+// search-worker shape) race-cleanly serialize into the trace.
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace(nil)
+	root := tr.StartSpan("search.run")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sp := root.Child("search.shard").Attr("shard", w)
+			for i := 0; i < 32; i++ {
+				sp.Child("core.block_fill").End()
+			}
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Spans()); got != 8*33+1 {
+		t.Errorf("got %d spans, want %d", got, 8*33+1)
+	}
+}
+
+// TestSpanContext: propagation through context.Context, and the off
+// state — no span in ctx means nil spans all the way down, with zero
+// allocations on the instrumented path.
+func TestSpanContext(t *testing.T) {
+	ctx := context.Background()
+	if SpanFrom(ctx) != nil {
+		t.Fatal("empty context carries a span")
+	}
+	sp, ctx2 := StartSpan(ctx, "x")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without a trace must be a no-op returning ctx unchanged")
+	}
+
+	tr := NewTrace(nil)
+	root := tr.StartSpan("root")
+	ctx = ContextWithSpan(ctx, root)
+	child, cctx := StartSpan(ctx, "child")
+	if child == nil || SpanFrom(cctx) != child {
+		t.Fatal("StartSpan did not thread the child span")
+	}
+	child.End()
+	root.End()
+	if spans := tr.Spans(); len(spans) != 2 || spans[0].Parent != spans[1].ID {
+		t.Fatalf("spans %+v", tr.Spans())
+	}
+}
+
+// TestNilTraceDisabled: every operation on nil traces and spans is a
+// no-op — the zero-overhead off state of request tracing.
+func TestNilTraceDisabled(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.StartSpan("x") != nil || tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Error("nil trace carries state")
+	}
+	var s *Span
+	s.Attr("k", 1)
+	s.End()
+	if s.Child("y") != nil {
+		t.Error("nil span produced a child")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := SpanFrom(context.Background())
+		sp.Child("c").Attr("k", 2).End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocates %.1f per run, want 0", allocs)
+	}
+}

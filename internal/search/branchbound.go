@@ -119,12 +119,15 @@ func runBranchBound(c *topology.Clos, fs core.Collection, opts Options, obj bbOb
 	eo.j.Emit("search.start", obs.F{
 		"space": "pruned", "total": space.total(), "workers": 1, "flows": len(fs), "n": c.Size(),
 	})
+	sp, ctx := obs.StartSpan(ctx, "search.run")
+	sp.Attr("space", "pruned").Attr("total", space.total()).Attr("workers", 1)
 	start := time.Now()
 	res, err := bbRun(ctx, c, fs, space, opts, obj, eo)
 	if err == nil && ctx.Err() != nil {
 		err = ctx.Err()
 	}
 	eo.duration.Observe(time.Since(start))
+	sp.Attr("ok", err == nil).End()
 	if err != nil {
 		eo.j.Emit("search.error", obs.F{"error": err.Error()})
 		return nil, err

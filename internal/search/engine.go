@@ -216,6 +216,8 @@ func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 	eo.j.Emit("search.start", obs.F{
 		"space": space, "total": s.total(), "workers": workers, "flows": len(fs), "n": c.Size(),
 	})
+	sp, ctx := obs.StartSpan(ctx, "search.run")
+	sp.Attr("space", space).Attr("total", s.total()).Attr("workers", workers)
 	start := time.Now()
 	var res *Result
 	if opts.FullSpace && workers <= 1 {
@@ -233,6 +235,7 @@ func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 		err = ctx.Err()
 	}
 	eo.duration.Observe(time.Since(start))
+	sp.Attr("ok", err == nil).End()
 	if err != nil {
 		eo.j.Emit("search.error", obs.F{"error": err.Error()})
 		return nil, err
@@ -246,6 +249,9 @@ func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 // equivalence tests cross-check the Evaluator-based sharded engine (and
 // the canonical enumeration) against this independent implementation.
 func runSerial(ctx context.Context, c *topology.Clos, fs core.Collection, opts Options, newObjective func() objective, eo engineObs) (*Result, error) {
+	sp, ctx := obs.StartSpan(ctx, "search.shard")
+	sp.Attr("shard", 0)
+	defer sp.End()
 	obj := newObjective()
 	done := ctx.Done()
 	var (
@@ -373,13 +379,17 @@ func runSharded(ctx context.Context, c *topology.Clos, fs core.Collection, s enu
 	// freshly published stop; like the per-state loop's speculative
 	// tail, those can never strictly improve (the stop rank certifies a
 	// global optimum) and the ascending-rank merge discards them.
-	runBlock := func(w, lo, hi int, obj objective, bc blockCapable) {
+	runBlock := func(ctx context.Context, w, lo, hi int, obj objective, bc blockCapable) {
 		bev, err := core.NewBlockEvaluator(c, fs)
 		if err != nil {
 			fail(err)
 			return
 		}
 		bev.Instrument(eo.obs)
+		// The shard span is resolved once per worker, outside the block
+		// loop: with tracing off it is nil, every Child below is a nil
+		// no-op, and the hot loop stays allocation-free.
+		ssp := obs.SpanFrom(ctx)
 		local := &incumbents[w]
 		local.rank = -1
 		nf := len(fs)
@@ -408,7 +418,9 @@ func runSharded(ctx context.Context, c *topology.Clos, fs core.Collection, s enu
 				buf = append(buf, ma...)
 				cur.advance()
 			}
+			bsp := ssp.Child("core.block_fill")
 			res, err := bev.EvalBlock(buf, k)
+			bsp.Attr("block", k).End()
 			if err != nil {
 				fail(err)
 				return
@@ -447,9 +459,12 @@ func runSharded(ctx context.Context, c *topology.Clos, fs core.Collection, s enu
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			wsp, ctx := obs.StartSpan(ctx, "search.shard")
+			wsp.Attr("shard", w)
+			defer wsp.End()
 			obj := newObjective()
 			if bc, ok := obj.(blockCapable); ok && blockSize > 1 {
-				runBlock(w, lo, hi, obj, bc)
+				runBlock(ctx, w, lo, hi, obj, bc)
 				return
 			}
 			ev, err := core.NewEvaluator(c, fs)

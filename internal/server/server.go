@@ -46,6 +46,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -157,14 +158,15 @@ func (o Options) withDefaults() (Options, error) {
 // Server is the scenario-evaluation service. Create with New, expose
 // via Handler, stop with Drain.
 type Server struct {
-	opts   Options // resolved: withDefaults already applied
-	eng    *engine.Engine
-	mux    *http.ServeMux
-	cache  *resultCache
-	flight *flightGroup
-	admit  *admitter
-	obs    *obs.Obs
-	start  time.Time
+	opts    Options // resolved: withDefaults already applied
+	eng     *engine.Engine
+	mux     *http.ServeMux
+	cache   *resultCache
+	flight  *flightGroup
+	admit   *admitter
+	obs     *obs.Obs
+	flights *flightRecorder
+	start   time.Time
 
 	// mu guards the drain state. An RWMutex held across requests would
 	// be simpler, but a waiting writer blocks new readers, which would
@@ -210,6 +212,7 @@ func New(opts Options) (*Server, error) {
 		flight:      newFlightGroup(),
 		admit:       newAdmitter(o.Workers, o.QueueDepth),
 		obs:         o.Obs,
+		flights:     newFlightRecorder(),
 		start:       time.Now(),
 		mRequests:   reg.Counter("server.requests"),
 		mHits:       reg.Counter("server.cache.hits"),
@@ -222,7 +225,9 @@ func New(opts Options) (*Server, error) {
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("/v1/evaluate", s.handleCompute("evaluate"))
 	s.mux.HandleFunc("/v1/search", s.handleCompute("search"))
 	s.mux.HandleFunc("/v1/doom", s.handleCompute("doom"))
@@ -230,8 +235,72 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the route mux wrapped in
+// the per-request tracing middleware (traceRequests), so every response
+// carries X-Closnet-Request-Id and every /v1/* request lands in the
+// flight recorder.
+func (s *Server) Handler() http.Handler { return s.traceRequests(s.mux) }
+
+// statusWriter captures the response status for the middleware; the
+// implicit 200 of a bare Write is the zero-config default.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// traceRequests is the request-scoped observability middleware: it
+// opens one obs.Trace per request, echoes the trace ID as the
+// X-Closnet-Request-Id response header (set before the handler runs, so
+// even a panic-free early error reply carries it), roots a
+// server.request span that the serving pipeline and the engine hang
+// child spans from via the request context, and — for the /v1/* API
+// surface — records the finished request into the flight recorder
+// behind GET /v1/debug/requests. Span events reach the journal as they
+// complete; with no journal attached the spans still feed the recorder.
+func (s *Server) traceRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(s.obs.Journal())
+		w.Header().Set("X-Closnet-Request-Id", tr.ID())
+		root := tr.StartSpan("server.request")
+		root.Attr("method", r.Method).Attr("path", r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(obs.ContextWithSpan(r.Context(), root)))
+		root.Attr("status", sw.status).End()
+		if !strings.HasPrefix(r.URL.Path, "/v1/") || r.URL.Path == "/v1/debug/requests" {
+			return
+		}
+		s.flights.record(flightEntry{
+			ID:           tr.ID(),
+			Time:         start.UTC().Format(time.RFC3339Nano),
+			Method:       r.Method,
+			Path:         r.URL.Path,
+			Op:           flightOp(r),
+			Status:       sw.status,
+			Cache:        w.Header().Get("X-Closnet-Cache"),
+			DurNs:        time.Since(start).Nanoseconds(),
+			Spans:        tr.Spans(),
+			SpansDropped: tr.Dropped(),
+		})
+	})
+}
+
+// flightOp names the engine operation a request addressed, for the
+// flight recorder: the resolved op when the endpoint and its query
+// parameters are well-formed, the bare endpoint otherwise (a malformed
+// objective still deserves a legible recorder entry).
+func flightOp(r *http.Request) string {
+	endpoint := strings.TrimPrefix(r.URL.Path, "/v1/")
+	if op, err := resolveOp(endpoint, r); err == nil {
+		return op
+	}
+	return endpoint
+}
 
 // Engine returns the compute engine the handlers dispatch through.
 func (s *Server) Engine() *engine.Engine { return s.eng }
@@ -309,6 +378,36 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
+// handleMetrics serves GET /metrics: the full registry in the
+// Prometheus text exposition format (obs.WritePrometheus) — every
+// counter, gauge, timer and histogram the process registered, no
+// scrape-side configuration needed.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, s.obs.Registry())
+}
+
+// handleDebugRequests serves GET /v1/debug/requests: the flight
+// recorder's last flightRingSize requests, newest first, each with its
+// trace ID, outcome and completed span tree — the "what just happened"
+// endpoint for debugging a live daemon.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Requests []flightEntry `json:"requests"`
+	}{s.flights.entries()})
+}
+
 // statsResponse is the /v1/stats schema.
 type statsResponse struct {
 	UptimeMs int64    `json:"uptime_ms"`
@@ -383,12 +482,16 @@ func (s *Server) handleCompute(endpoint string) http.HandlerFunc {
 			return
 		}
 
+		dsp, _ := obs.StartSpan(r.Context(), "server.decode")
 		scen, err := codec.Decode(body)
+		dsp.Attr("ok", err == nil).End()
 		if err != nil {
 			s.reply(w, endpoint, http.StatusBadRequest, codec.ErrorBody(err.Error()), "", start)
 			return
 		}
+		psp, _ := obs.StartSpan(r.Context(), "engine.prepare")
 		p, err := s.eng.Prepare(engine.Request{Op: op, Scenario: scen})
+		psp.Attr("ok", err == nil).End()
 		if err != nil {
 			s.reply(w, endpoint, http.StatusBadRequest, codec.ErrorBody(err.Error()), "", start)
 			return
@@ -413,16 +516,22 @@ func (s *Server) handleCompute(endpoint string) http.HandlerFunc {
 // "hit", "miss", "coalesced" or "" (follower whose wait was cut short).
 func (s *Server) serveOp(ctx context.Context, p *engine.Prepared) (status int, body []byte, cacheState string) {
 	key := cacheKey{op: p.Op, hash: p.Hash}
-	if cached, ok := s.cache.get(key); ok {
+	csp, _ := obs.StartSpan(ctx, "server.cache")
+	cached, ok := s.cache.get(key)
+	if ok {
+		csp.Attr("state", "hit").End()
 		s.mHits.Inc()
 		return http.StatusOK, cached, "hit"
 	}
+	csp.Attr("state", "miss").End()
 	s.mMisses.Inc()
 
 	call, leader := s.flight.join(key)
 	if !leader {
 		s.mCoalesced.Inc()
+		wsp, _ := obs.StartSpan(ctx, "server.coalesce_wait")
 		respBody, status, err := call.wait(ctx)
+		wsp.Attr("ok", err == nil).End()
 		if err != nil {
 			return http.StatusServiceUnavailable, codec.ErrorBody(err.Error()), ""
 		}
@@ -439,7 +548,10 @@ func (s *Server) serveOp(ctx context.Context, p *engine.Prepared) (status int, b
 // which is exactly the load-shedding semantics we want (the work they
 // were waiting for is not going to happen).
 func (s *Server) lead(reqCtx context.Context, call *flightCall, key cacheKey, p *engine.Prepared) (int, []byte) {
-	if err := s.admit.acquire(reqCtx); err != nil {
+	asp, _ := obs.StartSpan(reqCtx, "server.admit")
+	err := s.admit.acquire(reqCtx)
+	asp.Attr("ok", err == nil).End()
+	if err != nil {
 		var status int
 		var body []byte
 		if errors.Is(err, errSaturated) {
