@@ -54,6 +54,14 @@ type (
 	Clos = topology.Clos
 	// MacroSwitch is the macro-switch abstraction MS_n.
 	MacroSwitch = topology.MacroSwitch
+	// Fabric is the interface every routable topology family satisfies
+	// (Clos, fat-tree, Benes): the contract behind the evaluator, the
+	// search strategies and the LP models.
+	Fabric = topology.Fabric
+	// FatTree is the k-pod fat-tree expressed as a Fabric.
+	FatTree = topology.FatTree
+	// Benes is the recursive 2x2 Benes network expressed as a Fabric.
+	Benes = topology.Benes
 )
 
 // Flow and allocation types (§2.2).
@@ -159,6 +167,29 @@ func NewGeneralClos(tors, servers, middles int) (*Clos, error) {
 
 // NewMacroSwitch builds the macro-switch abstraction MS_n.
 func NewMacroSwitch(n int) (*MacroSwitch, error) { return topology.NewMacroSwitch(n) }
+
+// NewFatTree builds the k-pod fat-tree (even k ≥ 2) as a Fabric: every
+// (source, destination, core choice) path runs through the evaluator
+// and search machinery unchanged.
+func NewFatTree(k int) (*FatTree, error) { return topology.NewFatTree(k) }
+
+// NewBenes builds the n-port Benes network (n a power of two) as a
+// Fabric; each path choice selects one middle subnetwork per level.
+func NewBenes(n int) (*Benes, error) { return topology.NewBenes(n) }
+
+// NewOversubscribedClos builds a general Clos whose middle stage is
+// undersized by the ratio sRatio:mRatio (servers to middles per ToR) —
+// the oversubscription knob of §6.
+func NewOversubscribedClos(tors, servers, sRatio, mRatio int) (*Clos, error) {
+	return topology.NewOversubscribedClos(tors, servers, sRatio, mRatio)
+}
+
+// BuildFamily reconstructs the fabric of a named topology family from
+// its shape row (tors, servers, middles) — the codec's bridge from a
+// scenario's topology field to a Fabric. The empty family means Clos.
+func BuildFamily(family string, tors, servers, middles int) (Fabric, error) {
+	return topology.BuildFamily(family, tors, servers, middles)
+}
 
 // NewCollection builds a flow collection from (source, destination) node
 // pairs. It panics on an odd argument count (intended for literals).

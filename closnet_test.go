@@ -138,8 +138,8 @@ func TestPublicAPIValidation(t *testing.T) {
 }
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
-	if got := len(Experiments()); got != 17 {
-		t.Errorf("experiments = %d, want 17", got)
+	if got := len(Experiments()); got != 18 {
+		t.Errorf("experiments = %d, want 18", got)
 	}
 	tab, err := RunExperiment("F2")
 	if err != nil {

@@ -6,7 +6,13 @@
 //	closscen -family example23                     emit the Figure 1 instance
 //	closscen -family theorem43 -n 5                emit the starvation instance
 //	closscen -family theorem54 -n 7 -k 2 -o f.json write to a file
+//	closscen -corpus genfattree                    emit a corpus family
 //	closscen -eval f.json                          water-fill a saved scenario
+//
+// -family names the paper's adversarial constructions; -corpus names
+// any family of the shared scenario corpus (internal/corpus), which
+// includes the generated fat-tree, Benes and oversubscribed-Clos
+// instances (genfattree, genbenes, genoversub).
 //
 // Evaluation uses the scenario's embedded assignment; if the scenario
 // carries none, every flow is routed via middle switch 1.
@@ -24,6 +30,7 @@ import (
 	"closnet"
 	"closnet/internal/codec"
 	"closnet/internal/core"
+	"closnet/internal/corpus"
 	"closnet/internal/obs"
 	"closnet/internal/render"
 )
@@ -39,6 +46,7 @@ func run(args []string) error {
 	fl := flag.NewFlagSet("closscen", flag.ContinueOnError)
 	var (
 		family = fl.String("family", "", "instance family: example23, example53, theorem34, theorem42, theorem43, theorem54")
+		corp   = fl.String("corpus", "", "corpus family to emit (see internal/corpus.Families)")
 		n      = fl.Int("n", 3, "network size for parameterized families")
 		k      = fl.Int("k", 1, "multiplicity for parameterized families")
 		out    = fl.String("o", "", "output file (default stdout)")
@@ -63,9 +71,11 @@ func run(args []string) error {
 		return evaluate(*eval)
 	case *family != "":
 		return generate(*family, *n, *k, *out)
+	case *corp != "":
+		return generateCorpus(*corp, *n, *out)
 	default:
 		fl.Usage()
-		return fmt.Errorf("one of -family or -eval is required")
+		return fmt.Errorf("one of -family, -corpus or -eval is required")
 	}
 }
 
@@ -83,6 +93,19 @@ func generate(family string, n, k int, out string) error {
 		return err
 	}
 	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func generateCorpus(name string, n int, out string) error {
+	bodies, _, err := corpus.Build(n, []string{name})
+	if err != nil {
+		return err
+	}
+	data := append(bodies[0], '\n')
 	if out == "" {
 		_, err = os.Stdout.Write(data)
 		return err

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"closnet/internal/corpus"
 )
 
 func TestGenerateAndEvaluateRoundTrip(t *testing.T) {
@@ -60,5 +62,21 @@ func TestEvaluateScenarioWithoutAssignment(t *testing.T) {
 	}
 	if err := run([]string{"-eval", path}); err != nil {
 		t.Fatalf("evaluate bare scenario: %v", err)
+	}
+}
+
+func TestGenerateCorpusFamilies(t *testing.T) {
+	for _, name := range corpus.Families() {
+		path := filepath.Join(t.TempDir(), "s.json")
+		if err := run([]string{"-corpus", name, "-n", "3", "-o", path}); err != nil {
+			t.Errorf("corpus %s: %v", name, err)
+			continue
+		}
+		if err := run([]string{"-eval", path}); err != nil {
+			t.Errorf("evaluate corpus %s: %v", name, err)
+		}
+	}
+	if err := run([]string{"-corpus", "bogus"}); err == nil {
+		t.Error("unknown corpus family accepted")
 	}
 }

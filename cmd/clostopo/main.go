@@ -1,11 +1,17 @@
-// Command clostopo inspects the library's topologies: node/link
+// Command clostopo inspects the library's topologies — node/link
 // inventory, sample paths, and the full-bisection-bandwidth property of
-// the Clos fabric verified by max-flow.
+// the Clos fabric verified by max-flow — and emits generated scenarios
+// for any topology family.
 //
 // Usage:
 //
-//	clostopo -n 4              inspect C_4 and MS_4
-//	clostopo -n 4 -links       additionally dump every link
+//	clostopo -n 4                     inspect C_4 and MS_4
+//	clostopo -n 4 -links              additionally dump every link
+//	clostopo -topo fattree -k 4       inspect the 4-pod fat-tree
+//	clostopo -topo benes -k 8         inspect the 8-port Benes network
+//	clostopo -topo oversub -n 4 -ratio 2:1   inspect an oversubscribed Clos
+//	clostopo -topo fattree -k 4 -emit -traffic uniform -flows 6 -seed 1 -o s.json
+//	                                  emit a generated codec scenario
 //
 // The shared observability flags of internal/obs (-trace, -metrics,
 // -cpuprofile, -memprofile, -debug-addr) are available as on every
@@ -16,9 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"closnet"
+	"closnet/internal/codec"
 	"closnet/internal/core"
+	"closnet/internal/gen"
 	"closnet/internal/maxflow"
 	"closnet/internal/obs"
 	"closnet/internal/render"
@@ -34,10 +44,20 @@ func main() {
 func run(args []string) error {
 	fl := flag.NewFlagSet("clostopo", flag.ContinueOnError)
 	var (
-		n     = fl.Int("n", 2, "network size (middle switches)")
-		links = fl.Bool("links", false, "dump every link")
-		demo  = fl.Bool("demo", false, "render the Example 2.3 allocation over C_2")
-		ob    = obs.AddFlags(fl)
+		n         = fl.Int("n", 2, "network size (middle switches)")
+		links     = fl.Bool("links", false, "dump every link")
+		demo      = fl.Bool("demo", false, "render the Example 2.3 allocation over C_2")
+		topo      = fl.String("topo", "clos", "topology family: clos, fattree, benes, oversub")
+		k         = fl.Int("k", 4, "fat-tree pod count / Benes port count")
+		ratio     = fl.String("ratio", "1:1", "oversubscription ratio s:m (with -topo oversub)")
+		emit      = fl.Bool("emit", false, "emit a generated codec scenario instead of inspecting")
+		traffic   = fl.String("traffic", "uniform", "traffic model for -emit: uniform, gravity, hotspot")
+		flows     = fl.Int("flows", 0, "flow count for -emit (0 derives from -sparsity)")
+		sparsity  = fl.Float64("sparsity", 0, "fraction of server pairs without traffic for -emit")
+		elephants = fl.Float64("elephants", 0.25, "elephant flow fraction for -emit")
+		seed      = fl.Int64("seed", 1, "random seed for -emit")
+		out       = fl.String("o", "", "output file for -emit (default stdout)")
+		ob        = obs.AddFlags(fl)
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -54,6 +74,22 @@ func run(args []string) error {
 
 	if *demo {
 		return runDemo()
+	}
+	spec, err := specFromFlags(*topo, *n, *k, *ratio)
+	if err != nil {
+		return err
+	}
+	if *emit {
+		return emitScenario(spec, gen.TrafficConfig{
+			Model:            *traffic,
+			Flows:            *flows,
+			Sparsity:         *sparsity,
+			ElephantFraction: *elephants,
+			Seed:             *seed,
+		}, *out)
+	}
+	if *topo != "clos" {
+		return inspectFabric(spec, *links)
 	}
 	c, err := closnet.NewClos(*n)
 	if err != nil {
@@ -163,5 +199,87 @@ func runDemo() error {
 	fmt.Print(table)
 	fmt.Println()
 	fmt.Print(render.FabricUtilization(in.Clos, r, a))
+	return nil
+}
+
+// specFromFlags maps the family flags onto a gen.Spec.
+func specFromFlags(topo string, n, k int, ratio string) (gen.Spec, error) {
+	switch topo {
+	case "clos":
+		return gen.ClosSpec(n)
+	case "fattree":
+		return gen.FatTreeSpec(k)
+	case "benes":
+		return gen.BenesSpec(k)
+	case "oversub":
+		parts := strings.SplitN(ratio, ":", 2)
+		if len(parts) != 2 {
+			return gen.Spec{}, fmt.Errorf("ratio %q is not of the form s:m", ratio)
+		}
+		sr, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return gen.Spec{}, fmt.Errorf("ratio %q: %v", ratio, err)
+		}
+		mr, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return gen.Spec{}, fmt.Errorf("ratio %q: %v", ratio, err)
+		}
+		return gen.OversubscribedClosSpec(2*n, n, sr, mr)
+	default:
+		return gen.Spec{}, fmt.Errorf("unknown topology %q (known: clos, fattree, benes, oversub)", topo)
+	}
+}
+
+// emitScenario generates a scenario for the spec and writes it.
+func emitScenario(spec gen.Spec, tc gen.TrafficConfig, out string) error {
+	s, err := gen.Scenario(spec, tc)
+	if err != nil {
+		return err
+	}
+	data, err := codec.Encode(s)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// inspectFabric prints the non-Clos families: network inventory, links
+// on request, and the full choice fan of one corner-to-corner pair.
+func inspectFabric(spec gen.Spec, links bool) error {
+	f, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	net := f.Network()
+	fmt.Printf("%s: %d ToRs x %d servers per side, %d path choices\n",
+		spec.Family, f.NumToRs(), f.ServersPerToR(), f.Size())
+	fmt.Println(net)
+	if links {
+		for _, l := range net.Links() {
+			capacity := "inf"
+			if !l.Unbounded {
+				capacity = l.Capacity.RatString()
+			}
+			fmt.Printf("  %-14s cap %s\n", net.LinkName(l.ID), capacity)
+		}
+	}
+	src, dst := f.Source(1, 1), f.Dest(f.NumToRs(), f.ServersPerToR())
+	fmt.Printf("paths %s -> %s:\n", net.Node(src).Name, net.Node(dst).Name)
+	for m := 1; m <= f.Size(); m++ {
+		p, err := f.Path(src, dst, m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  choice %d:", m)
+		for _, l := range p {
+			fmt.Printf(" %s", net.LinkName(l))
+		}
+		fmt.Println()
+	}
 	return nil
 }

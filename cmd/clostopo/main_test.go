@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+
+	"closnet/internal/codec"
+)
 
 func TestRunDefault(t *testing.T) {
 	if err := run([]string{"-n", "2"}); err != nil {
@@ -35,5 +40,53 @@ func TestFabricMaxFlowMatchesServerCapacity(t *testing.T) {
 func TestRunDemo(t *testing.T) {
 	if err := run([]string{"-demo"}); err != nil {
 		t.Fatalf("run -demo: %v", err)
+	}
+}
+
+func TestRunFamilies(t *testing.T) {
+	for _, args := range [][]string{
+		{"-topo", "fattree", "-k", "4"},
+		{"-topo", "fattree", "-k", "4", "-links"},
+		{"-topo", "benes", "-k", "4"},
+		{"-topo", "oversub", "-n", "2", "-ratio", "2:1"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run %v: %v", args, err)
+		}
+	}
+}
+
+func TestEmitScenarioRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ft.json")
+	args := []string{"-topo", "fattree", "-k", "4", "-emit",
+		"-traffic", "hotspot", "-flows", "6", "-elephants", "0.5", "-seed", "7", "-o", path}
+	if err := run(args); err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	s, err := codec.LoadFile(path)
+	if err != nil {
+		t.Fatalf("load emitted scenario: %v", err)
+	}
+	if s.Topology != "fattree" || len(s.Flows) != 6 {
+		t.Errorf("emitted topology %q with %d flows, want fattree with 6", s.Topology, len(s.Flows))
+	}
+	if _, _, _, _, err := s.Build(); err != nil {
+		t.Errorf("emitted scenario does not build: %v", err)
+	}
+}
+
+func TestRunFamilyErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-topo", "bogus"},
+		{"-topo", "fattree", "-k", "3"},                  // odd pod count
+		{"-topo", "benes", "-k", "6"},                    // not a power of two
+		{"-topo", "oversub", "-n", "2", "-ratio", "3:1"}, // middles don't divide
+		{"-topo", "oversub", "-n", "2", "-ratio", "x"},
+		{"-topo", "fattree", "-k", "4", "-emit", "-traffic", "bogus"},
+		{"-topo", "fattree", "-k", "4", "-emit", "-flows", "-1"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run %v: error expected", args)
+		}
 	}
 }

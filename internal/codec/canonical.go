@@ -35,9 +35,15 @@ func Canonical(s *Scenario) (*Scenario, error) {
 		return nil, err
 	}
 	c := &Scenario{
-		Tors:    s.Tors,
-		Servers: s.Servers,
-		Middles: s.Middles,
+		Topology: s.Topology,
+		Tors:     s.Tors,
+		Servers:  s.Servers,
+		Middles:  s.Middles,
+	}
+	// "clos" and "" denote the same family; the canonical form uses the
+	// empty spelling so pre-family content addresses are preserved.
+	if c.Topology == "clos" {
+		c.Topology = ""
 	}
 	demands := make([]string, len(s.Demands))
 	for fi, str := range s.Demands {
@@ -128,7 +134,7 @@ func CanonicalHash(s *Scenario) (*Scenario, [32]byte, error) {
 // TopologyHash returns the SHA-256 address of the scenario's topology:
 // the shape (tors, servers, middles) plus the canonically ordered flow
 // list, with the name, demands and assignment stripped. Scenarios that
-// share a topology hash build the identical (Clos, Collection) pair
+// share a topology hash build the identical (Fabric, Collection) pair
 // from Canonical(s).Build(), so evaluator state prepared for one can
 // evaluate any assignment of the other — the key of the serving
 // layer's shared-evaluator pool (internal/engine).
@@ -144,10 +150,11 @@ func TopologyHash(s *Scenario) ([32]byte, error) {
 		return [32]byte{}, err
 	}
 	stripped := &Scenario{
-		Tors:    c.Tors,
-		Servers: c.Servers,
-		Middles: c.Middles,
-		Flows:   c.Flows,
+		Topology: c.Topology,
+		Tors:     c.Tors,
+		Servers:  c.Servers,
+		Middles:  c.Middles,
+		Flows:    c.Flows,
 	}
 	data, err := json.Marshal(stripped)
 	if err != nil {

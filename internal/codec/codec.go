@@ -25,10 +25,15 @@ type FlowJSON struct {
 
 // Scenario is a self-contained problem instance.
 type Scenario struct {
-	Name    string `json:"name,omitempty"`
-	Tors    int    `json:"tors"`
-	Servers int    `json:"servers"`
-	Middles int    `json:"middles"`
+	Name string `json:"name,omitempty"`
+	// Topology names the fabric family the shape describes (see
+	// topology.FamilyNames). Empty means "clos", kept empty in encoded
+	// form so pre-family scenario files and their content addresses are
+	// unchanged.
+	Topology string `json:"topology,omitempty"`
+	Tors     int    `json:"tors"`
+	Servers  int    `json:"servers"`
+	Middles  int    `json:"middles"`
 
 	Flows []FlowJSON `json:"flows"`
 	// Demands are exact rational strings, parallel to Flows; optional.
@@ -92,6 +97,18 @@ func (s *Scenario) validate() error {
 	if s.Tors < 1 || s.Servers < 1 || s.Middles < 1 {
 		return fmt.Errorf("codec: invalid shape (%d, %d, %d)", s.Tors, s.Servers, s.Middles)
 	}
+	if s.Topology != "" {
+		known := false
+		for _, f := range topology.FamilyNames() {
+			if s.Topology == f {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("codec: unknown topology family %q", s.Topology)
+		}
+	}
 	for fi, f := range s.Flows {
 		if f.SrcSwitch < 1 || f.SrcSwitch > s.Tors || f.DstSwitch < 1 || f.DstSwitch > s.Tors {
 			return fmt.Errorf("codec: flow %d switch index out of range", fi)
@@ -116,14 +133,14 @@ func (s *Scenario) validate() error {
 	return nil
 }
 
-// Build materializes the scenario: the Clos network, the flow
-// collection, the demands (nil if absent) and the assignment (nil if
-// absent).
-func (s *Scenario) Build() (*topology.Clos, core.Collection, rational.Vec, core.MiddleAssignment, error) {
+// Build materializes the scenario: the fabric of its topology family
+// (a Clos when the family is empty), the flow collection, the demands
+// (nil if absent) and the assignment (nil if absent).
+func (s *Scenario) Build() (topology.Fabric, core.Collection, rational.Vec, core.MiddleAssignment, error) {
 	if err := s.validate(); err != nil {
 		return nil, nil, nil, nil, err
 	}
-	c, err := topology.NewGeneralClos(s.Tors, s.Servers, s.Middles)
+	c, err := topology.BuildFamily(s.Topology, s.Tors, s.Servers, s.Middles)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}

@@ -1,0 +1,157 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+
+	"closnet/internal/topology"
+)
+
+func familyScenario(family string) *Scenario {
+	return &Scenario{
+		Name:     "family-test",
+		Topology: family,
+		Tors:     4,
+		Servers:  2,
+		Middles:  4,
+		Flows: []FlowJSON{
+			{1, 1, 4, 2},
+			{2, 2, 1, 1},
+		},
+	}
+}
+
+// TestTopologyRoundTrip: the topology field survives encode/decode and
+// selects the right fabric family on Build.
+func TestTopologyRoundTrip(t *testing.T) {
+	wantName := map[string]string{
+		"":        "C(4x2x4)",
+		"clos":    "C(4x2x4)",
+		"fattree": "FT_4",
+		"benes":   "B_8",
+	}
+	for family, want := range wantName {
+		s := familyScenario(family)
+		// The fat-tree with 4 ToRs per shape row doesn't exist; fix the
+		// shape per family.
+		if family == "fattree" {
+			s.Tors, s.Servers, s.Middles = 8, 2, 4
+		}
+		data, err := Encode(s)
+		if err != nil {
+			t.Fatalf("%q encode: %v", family, err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%q decode: %v", family, err)
+		}
+		if back.Topology != family {
+			t.Errorf("%q: topology decoded as %q", family, back.Topology)
+		}
+		c, fs, _, _, err := back.Build()
+		if err != nil {
+			t.Fatalf("%q build: %v", family, err)
+		}
+		if got := c.Network().Name(); got != want {
+			t.Errorf("%q: built network %q, want %q", family, got, want)
+		}
+		if len(fs) != len(s.Flows) {
+			t.Errorf("%q: %d flows built, want %d", family, len(fs), len(s.Flows))
+		}
+	}
+}
+
+// TestCanonicalNormalizesClosSpelling: "clos" and "" canonicalize to
+// the same form (the empty spelling), so pre-family scenario files keep
+// their content addresses.
+func TestCanonicalNormalizesClosSpelling(t *testing.T) {
+	spelled := familyScenario("clos")
+	empty := familyScenario("")
+	c, err := Canonical(spelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Topology != "" {
+		t.Errorf("canonical topology %q, want empty", c.Topology)
+	}
+	h1, err := spelled.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := empty.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("\"clos\" and \"\" hash to different content addresses")
+	}
+	th1, err := TopologyHash(spelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2, err := TopologyHash(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th1 != th2 {
+		t.Error("\"clos\" and \"\" differ in topology hash")
+	}
+}
+
+// TestFamilyChangesHashes: two scenarios identical except for the
+// family must differ in both the content address and the topology hash
+// — the evaluator-pool key may never alias a Benes onto a Clos of the
+// same shape.
+func TestFamilyChangesHashes(t *testing.T) {
+	clos := familyScenario("")
+	benes := familyScenario(topology.FamilyBenes)
+	h1, err := clos.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := benes.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("clos and benes scenarios of equal shape share a content address")
+	}
+	th1, err := TopologyHash(clos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2, err := TopologyHash(benes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th1 == th2 {
+		t.Error("clos and benes scenarios of equal shape share a topology hash")
+	}
+}
+
+// TestUnknownTopologyRejected: validation names the offending family.
+func TestUnknownTopologyRejected(t *testing.T) {
+	s := familyScenario("torus")
+	if _, err := Encode(s); err != nil {
+		t.Fatalf("encode should not validate: %v", err)
+	}
+	data, _ := Encode(s)
+	if _, err := Decode(data); err == nil || !strings.Contains(err.Error(), "torus") {
+		t.Errorf("decode of unknown family: err = %v, want mention of torus", err)
+	}
+	if _, err := Canonical(s); err == nil {
+		t.Error("canonicalization of unknown family accepted")
+	}
+	if _, _, _, _, err := s.Build(); err == nil {
+		t.Error("build of unknown family accepted")
+	}
+}
+
+// TestFamilyShapeMismatchRejected: a topology whose shape row can't
+// reconstruct the named family fails at Build, not deep in evaluation.
+func TestFamilyShapeMismatchRejected(t *testing.T) {
+	s := familyScenario(topology.FamilyFatTree) // 4 ToRs is no fat-tree
+	if _, _, _, _, err := s.Build(); err == nil {
+		t.Error("fat-tree build with non-fat-tree shape accepted")
+	}
+}

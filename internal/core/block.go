@@ -104,7 +104,7 @@ type BlockEvaluator struct {
 
 // NewBlockEvaluator prepares repeated block evaluations of fs over c.
 // It fails if any flow endpoint is not a server of c.
-func NewBlockEvaluator(c *topology.Clos, fs Collection) (*BlockEvaluator, error) {
+func NewBlockEvaluator(c topology.Fabric, fs Collection) (*BlockEvaluator, error) {
 	ev, err := NewEvaluator(c, fs)
 	if err != nil {
 		return nil, err

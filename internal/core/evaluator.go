@@ -85,7 +85,7 @@ type Evaluator struct {
 
 // NewEvaluator prepares repeated max-min fair evaluations of fs over c.
 // It fails if any flow endpoint is not a server of c.
-func NewEvaluator(c *topology.Clos, fs Collection) (*Evaluator, error) {
+func NewEvaluator(c topology.Fabric, fs Collection) (*Evaluator, error) {
 	e := &Evaluator{nf: len(fs), n: c.Size(), links: c.Network().Links()}
 	e.paths = make([][]topology.Path, len(fs))
 	for fi, f := range fs {

@@ -12,57 +12,63 @@ import (
 
 // PartialEvaluator bounds partial middle assignments for the
 // branch-and-bound search: given a suffix of flows fixed to concrete
-// middle switches and the remaining prefix free, it computes the
-// max-min fair allocation of the *trunk relaxation* — an admissible
-// upper bound (in the sorted-lexicographic order of Definition 2.4) on
-// the max-min fair allocation of every completion of the partial
-// assignment.
+// path choices and the remaining prefix free, it computes the max-min
+// fair allocation of the *trunk relaxation* — an admissible upper bound
+// (in the sorted-lexicographic order of Definition 2.4) on the max-min
+// fair allocation of every completion of the partial assignment.
 //
-// The relaxation adds one aggregate "trunk" link per ToR switch side:
-// uptrunk(i) pools input switch I_i's n uplinks (capacity n) and
-// downtrunk(o) pools output switch O_o's n downlinks (capacity n).
-// A fixed flow is charged on its real four-link path plus both trunks;
-// a free flow is charged only on its server links and the two trunks —
-// it pays for fabric capacity in aggregate without committing to a
-// middle. Any completion's allocation satisfies every relaxed
-// constraint (each trunk constraint is the sum of n unit-capacity
-// fabric constraints, and completions agree with the fixed suffix), so
-// it is feasible in the relaxed system; the water-filled max-min fair
-// allocation of a system lexicographically dominates every feasible
-// allocation of that system, which makes the bound admissible. When
-// every flow is fixed the trunk constraints are implied by the real
-// per-middle links, so the relaxed feasible region equals the real one
-// and the bound coincides with the exact evaluation.
+// The relaxation works on any topology.Fabric. For every interior
+// switch it forms candidate "trunk" pools — the switch's fabric-facing
+// out-links and in-links, pooled with capacity equal to the sum of the
+// member capacities — and charges a flow on a trunk exactly when every
+// one of the flow's Size() candidate paths crosses the pool exactly
+// once. A fixed flow is charged on its full real path plus its trunks;
+// a free flow is charged only on its static links (the links shared by
+// all of its candidate paths, which always include its server links)
+// plus its trunks — it pays for fabric capacity in aggregate without
+// committing to a path. On a Clos this reproduces the per-ToR
+// uplink/downlink trunks exactly; on a fat-tree the pools are the
+// edge-to-aggregation bundles; on a Benes the outermost stage fan-outs.
+//
+// Any completion's allocation satisfies every relaxed constraint: each
+// trunk constraint is weaker than the sum of its member link
+// constraints (a charged flow crosses the pool exactly once under any
+// completion, and uncharged traffic is dropped from the left-hand
+// side), and real links carry subsets of their true flow sets. So the
+// completion is feasible in the relaxed system, and the water-filled
+// max-min fair allocation of that system lexicographically dominates
+// it — the bound is admissible. When every flow is fixed the trunk
+// constraints are implied by the real links and the charged sets are
+// exact, so the relaxed feasible region equals the real one and the
+// bound coincides with the exact evaluation.
 //
 // Like Evaluator, the hot path runs on the rational.Rat64 small-word
-// kernel over scratch reused across calls — only the two fabric links
-// of each fixed flow differ between nodes, so bounding a child costs a
+// kernel over scratch reused across calls — only the varying links of
+// each fixed flow differ between nodes, so bounding a child costs a
 // scratch reset plus O(fixed) registration, not a fresh solve — with a
 // lossless *big.Rat fallback on overflow. A PartialEvaluator is NOT
 // safe for concurrent use.
 type PartialEvaluator struct {
 	nf     int
 	n      int
-	tors   int
-	nLinks int // real links + 2*tors trunk links
+	nLinks int // real links + trunk pools
 
-	// staticOf[fi] lists the finite links flow fi occupies regardless of
-	// assignment: source link, uptrunk(i), downtrunk(o), destination
-	// link. fabricOf[fi][m-1] lists the two real fabric links flow fi
-	// additionally occupies when fixed to middle m.
-	staticOf [][]int
-	fabricOf [][][2]int
+	// staticOf[fi] lists the relaxed links flow fi occupies regardless
+	// of assignment: the real links shared by all of its candidate paths
+	// plus its charged trunks. varyingOf[fi][m-1] lists the real links
+	// flow fi additionally occupies when fixed to choice m.
+	staticOf  [][]int
+	varyingOf [][][]int
 
 	// Scratch reused across Bound calls, indexed by relaxed link ID.
-	// on holds the static flows-on-link lists for server and trunk links
-	// (membership there never varies); fabric on-lists are rebuilt per
-	// call from the fixed suffix.
+	// on holds the static flows-on-link lists (membership there never
+	// varies); varying on-lists are rebuilt per call from the fixed
+	// suffix.
 	active     []int
 	baseActive []int
 	frozen     []bool
 	on         [][]int
-	fabricIDs  []int // real fabric link IDs, for the per-call on reset
-	isFabric   []bool
+	varyIDs    []int // real links appearing in some varyingOf, for the per-call on reset
 	finiteIDs  []int
 
 	caps64 []rational.Rat64
@@ -84,24 +90,85 @@ type PartialEvaluator struct {
 // NewPartialEvaluator prepares repeated trunk-relaxation bounds of fs
 // over c. It fails if any flow endpoint is not a server of c or any
 // link capacity is unbounded (the relaxation pools concrete capacities).
-func NewPartialEvaluator(c *topology.Clos, fs Collection) (*PartialEvaluator, error) {
-	links := c.Network().Links()
-	e := &PartialEvaluator{nf: len(fs), n: c.Size(), tors: c.NumToRs()}
+func NewPartialEvaluator(c topology.Fabric, fs Collection) (*PartialEvaluator, error) {
+	net := c.Network()
+	links := net.Links()
+	e := &PartialEvaluator{nf: len(fs), n: c.Size()}
 	nReal := len(links)
-	e.nLinks = nReal + 2*e.tors
-	upTrunk := func(i int) int { return nReal + (i - 1) }
-	downTrunk := func(o int) int { return nReal + e.tors + (o - 1) }
+	for _, l := range links {
+		if l.Unbounded {
+			return nil, fmt.Errorf("partial: link %d is unbounded; the trunk relaxation needs finite capacities", l.ID)
+		}
+	}
+
+	// Candidate paths, one per flow and choice.
+	paths := make([][]topology.Path, len(fs))
+	for fi, f := range fs {
+		paths[fi] = make([]topology.Path, e.n)
+		for m := 1; m <= e.n; m++ {
+			p, err := c.Path(f.Src, f.Dst, m)
+			if err != nil {
+				return nil, fmt.Errorf("partial: flow %d: %w", fi, err)
+			}
+			paths[fi][m-1] = p
+		}
+	}
+
+	// Trunk pools: the fabric-interior out-link and in-link bundles of
+	// every switch. Links incident to a server stay out of pools (they
+	// are exact per-flow constraints already), and singleton bundles
+	// duplicate their one real constraint, so only pools of two or more
+	// interior links survive. Each real link belongs to at most one
+	// out-pool (keyed by its tail) and one in-pool (keyed by its head).
+	isServer := func(id topology.NodeID) bool {
+		k := net.Node(id).Kind
+		return k == topology.KindSource || k == topology.KindDestination
+	}
+	outMembers := make(map[topology.NodeID][]int)
+	inMembers := make(map[topology.NodeID][]int)
+	for _, l := range links {
+		if isServer(l.From) || isServer(l.To) {
+			continue
+		}
+		outMembers[l.From] = append(outMembers[l.From], int(l.ID))
+		inMembers[l.To] = append(inMembers[l.To], int(l.ID))
+	}
+	outPoolOf := make([]int, nReal)
+	inPoolOf := make([]int, nReal)
+	for i := range outPoolOf {
+		outPoolOf[i] = -1
+		inPoolOf[i] = -1
+	}
+	var poolLinks [][]int
+	addPools := func(members map[topology.NodeID][]int, poolOf []int) {
+		// Deterministic pool order: ascending key node ID.
+		keys := make([]int, 0, len(members))
+		for v := range members {
+			keys = append(keys, int(v))
+		}
+		sort.Ints(keys)
+		for _, v := range keys {
+			ids := members[topology.NodeID(v)]
+			if len(ids) < 2 {
+				continue
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				poolOf[id] = len(poolLinks)
+			}
+			poolLinks = append(poolLinks, ids)
+		}
+	}
+	addPools(outMembers, outPoolOf)
+	addPools(inMembers, inPoolOf)
+	e.nLinks = nReal + len(poolLinks)
 
 	e.caps = make([]*big.Rat, e.nLinks)
 	e.caps64 = make([]rational.Rat64, e.nLinks)
 	e.rem64 = make([]rational.Rat64, e.nLinks)
 	e.remaining = make([]*big.Rat, e.nLinks)
-	e.isFabric = make([]bool, e.nLinks)
 	e.fast = true
 	for _, l := range links {
-		if l.Unbounded {
-			return nil, fmt.Errorf("partial: link %d is unbounded; the trunk relaxation needs finite capacities", l.ID)
-		}
 		id := int(l.ID)
 		e.caps[id] = l.Capacity
 		if c64, ok := l.Capacity64(); ok {
@@ -113,44 +180,93 @@ func NewPartialEvaluator(c *topology.Clos, fs Collection) (*PartialEvaluator, er
 		e.remaining[id] = new(big.Rat)
 	}
 	sort.Ints(e.finiteIDs)
-	trunkCap := rational.Int(int64(e.n))
-	for t := nReal; t < e.nLinks; t++ {
-		e.caps[t] = trunkCap
-		e.caps64[t] = rational.Int64(int64(e.n))
-		e.finiteIDs = append(e.finiteIDs, t)
-		e.remaining[t] = new(big.Rat)
+	for t, members := range poolLinks {
+		pooled := new(big.Rat)
+		for _, id := range members {
+			pooled.Add(pooled, links[id].Capacity)
+		}
+		tid := nReal + t
+		e.caps[tid] = pooled
+		if c64, ok := rational.FromRat(pooled); ok {
+			e.caps64[tid] = c64
+		} else {
+			e.fast = false
+		}
+		e.finiteIDs = append(e.finiteIDs, tid)
+		e.remaining[tid] = new(big.Rat)
 	}
 
+	// Per-flow static links, varying links and charged trunks. A trunk
+	// is charged exactly when every candidate path crosses its pool
+	// exactly once (then the flow consumes one unit of pool capacity
+	// under any completion).
 	e.staticOf = make([][]int, len(fs))
-	e.fabricOf = make([][][2]int, len(fs))
-	for fi, f := range fs {
-		i, ok := c.InputOf(f.Src)
-		if !ok {
-			return nil, fmt.Errorf("partial: flow %d: node %d is not a source", fi, f.Src)
-		}
-		o, ok := c.OutputOf(f.Dst)
-		if !ok {
-			return nil, fmt.Errorf("partial: flow %d: node %d is not a destination", fi, f.Dst)
-		}
-		p, err := c.Path(f.Src, f.Dst, 1)
-		if err != nil {
-			return nil, fmt.Errorf("partial: flow %d: %w", fi, err)
-		}
-		// p = [src->I_i, I_i->M_1, M_1->O_o, O_o->dst].
-		e.staticOf[fi] = []int{int(p[0]), upTrunk(i), downTrunk(o), int(p[3])}
-		e.fabricOf[fi] = make([][2]int, e.n)
-		for m := 1; m <= e.n; m++ {
-			pm, err := c.Path(f.Src, f.Dst, m)
-			if err != nil {
-				return nil, fmt.Errorf("partial: flow %d: %w", fi, err)
+	e.varyingOf = make([][][]int, len(fs))
+	isVarying := make([]bool, nReal)
+	occ := make([]int, nReal)
+	for fi := range fs {
+		for _, p := range paths[fi] {
+			for _, l := range p {
+				occ[l]++
 			}
-			e.fabricOf[fi][m-1] = [2]int{int(pm[1]), int(pm[2])}
 		}
+		trunks := make(map[int]bool)
+		for pi, p := range paths[fi] {
+			cnt := make(map[int]int)
+			for _, l := range p {
+				if q := outPoolOf[l]; q >= 0 {
+					cnt[q]++
+				}
+				if q := inPoolOf[l]; q >= 0 {
+					cnt[q]++
+				}
+			}
+			if pi == 0 {
+				for q, crossings := range cnt {
+					if crossings == 1 {
+						trunks[q] = true
+					}
+				}
+			} else {
+				for q := range trunks {
+					if cnt[q] != 1 {
+						delete(trunks, q)
+					}
+				}
+			}
+		}
+		e.varyingOf[fi] = make([][]int, e.n)
+		for m, p := range paths[fi] {
+			for _, l := range p {
+				if occ[l] == e.n {
+					continue // static: on every candidate path
+				}
+				e.varyingOf[fi][m] = append(e.varyingOf[fi][m], int(l))
+				isVarying[l] = true
+			}
+		}
+		var static []int
+		for _, l := range paths[fi][0] {
+			if occ[l] == e.n {
+				static = append(static, int(l))
+			}
+		}
+		for _, p := range paths[fi] {
+			for _, l := range p {
+				occ[l] = 0
+			}
+		}
+		trunkIDs := make([]int, 0, len(trunks))
+		for q := range trunks {
+			trunkIDs = append(trunkIDs, nReal+q)
+		}
+		sort.Ints(trunkIDs)
+		e.staticOf[fi] = append(static, trunkIDs...)
 	}
 
-	// Static membership: every flow sits on its four static links for
-	// every partial assignment; fabric links start empty and are filled
-	// per call with the fixed suffix.
+	// Static membership: every flow sits on its static links and trunks
+	// for every partial assignment; varying links start empty and are
+	// filled per call with the fixed suffix.
 	e.on = make([][]int, e.nLinks)
 	e.baseActive = make([]int, e.nLinks)
 	e.active = make([]int, e.nLinks)
@@ -159,15 +275,10 @@ func NewPartialEvaluator(c *topology.Clos, fs Collection) (*PartialEvaluator, er
 			e.on[id] = append(e.on[id], fi)
 			e.baseActive[id]++
 		}
-		for m := 0; m < e.n; m++ {
-			for _, id := range e.fabricOf[fi][m] {
-				e.isFabric[id] = true
-			}
-		}
 	}
-	for id, fab := range e.isFabric {
-		if fab {
-			e.fabricIDs = append(e.fabricIDs, id)
+	for id, v := range isVarying {
+		if v {
+			e.varyIDs = append(e.varyIDs, id)
 		}
 	}
 	e.frozen = make([]bool, len(fs))
@@ -216,12 +327,12 @@ func (e *PartialEvaluator) Bound(ma MiddleAssignment, fixedFrom int) (Allocation
 	return e.boundBig(ma, fixedFrom)
 }
 
-// register resets the varying scratch: fabric on-lists are rebuilt for
+// register resets the varying scratch: varying on-lists are rebuilt for
 // the fixed suffix, active counts start from the static membership, and
-// the frozen flags clear. Static on-lists (server and trunk links) are
+// the frozen flags clear. Static on-lists (shared links and trunks) are
 // shared across calls and never mutated.
 func (e *PartialEvaluator) register(ma MiddleAssignment, fixedFrom int) {
-	for _, id := range e.fabricIDs {
+	for _, id := range e.varyIDs {
 		e.on[id] = e.on[id][:0]
 	}
 	copy(e.active, e.baseActive)
@@ -229,7 +340,7 @@ func (e *PartialEvaluator) register(ma MiddleAssignment, fixedFrom int) {
 		e.frozen[fi] = false
 	}
 	for fi := fixedFrom; fi < e.nf; fi++ {
-		for _, id := range e.fabricOf[fi][ma[fi]-1] {
+		for _, id := range e.varyingOf[fi][ma[fi]-1] {
 			e.on[id] = append(e.on[id], fi)
 			e.active[id]++
 		}
@@ -243,7 +354,7 @@ func (e *PartialEvaluator) linksOf(fi, fixedFrom int, ma MiddleAssignment, fn fu
 		fn(id)
 	}
 	if fi >= fixedFrom {
-		for _, id := range e.fabricOf[fi][ma[fi]-1] {
+		for _, id := range e.varyingOf[fi][ma[fi]-1] {
 			fn(id)
 		}
 	}

@@ -39,7 +39,7 @@ func (ma MiddleAssignment) Copy() MiddleAssignment {
 }
 
 // ClosRouting materializes a middle assignment into a Routing over c.
-func ClosRouting(c *topology.Clos, fs Collection, ma MiddleAssignment) (Routing, error) {
+func ClosRouting(c topology.Fabric, fs Collection, ma MiddleAssignment) (Routing, error) {
 	if len(ma) != len(fs) {
 		return nil, fmt.Errorf("assignment has %d middles for %d flows", len(ma), len(fs))
 	}

@@ -137,13 +137,13 @@ func MacroMaxMinFair(ms *topology.MacroSwitch, fs Collection) (Allocation, error
 
 // ClosMaxMinFair computes the max-min fair allocation of fs in the Clos
 // network c under the routing given by middle assignment ma.
-func ClosMaxMinFair(c *topology.Clos, fs Collection, ma MiddleAssignment) (Allocation, error) {
+func ClosMaxMinFair(c topology.Fabric, fs Collection, ma MiddleAssignment) (Allocation, error) {
 	return ClosMaxMinFairCtx(context.Background(), c, fs, ma)
 }
 
 // ClosMaxMinFairCtx is ClosMaxMinFair bounded by a context (see
 // MaxMinFairCtx for the cancellation contract).
-func ClosMaxMinFairCtx(ctx context.Context, c *topology.Clos, fs Collection, ma MiddleAssignment) (Allocation, error) {
+func ClosMaxMinFairCtx(ctx context.Context, c topology.Fabric, fs Collection, ma MiddleAssignment) (Allocation, error) {
 	r, err := ClosRouting(c, fs, ma)
 	if err != nil {
 		return nil, err

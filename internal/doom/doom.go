@@ -98,13 +98,13 @@ func MostLoaded() VictimPolicy {
 
 // Route runs the Doom-Switch algorithm on fs over c with the paper's
 // least-loaded victim policy.
-func Route(c *topology.Clos, fs core.Collection) (*Result, error) {
+func Route(c topology.Fabric, fs core.Collection) (*Result, error) {
 	return RouteWithPolicy(c, fs, LeastLoaded())
 }
 
 // RouteWithPolicy runs the Doom-Switch algorithm with a custom victim
 // policy for step 3.
-func RouteWithPolicy(c *topology.Clos, fs core.Collection, victim VictimPolicy) (*Result, error) {
+func RouteWithPolicy(c topology.Fabric, fs core.Collection, victim VictimPolicy) (*Result, error) {
 	return RouteWithObs(c, fs, victim, nil)
 }
 
@@ -113,7 +113,7 @@ func RouteWithPolicy(c *topology.Clos, fs core.Collection, victim VictimPolicy) 
 // counters in o's registry and a doom.route journal event carrying the
 // matching size, the victim middle and the color-class sizes. A nil o
 // disables instrumentation.
-func RouteWithObs(c *topology.Clos, fs core.Collection, victim VictimPolicy, o *obs.Obs) (*Result, error) {
+func RouteWithObs(c topology.Fabric, fs core.Collection, victim VictimPolicy, o *obs.Obs) (*Result, error) {
 	return RouteCtx(context.Background(), c, fs, victim, o)
 }
 
@@ -121,7 +121,7 @@ func RouteWithObs(c *topology.Clos, fs core.Collection, victim VictimPolicy, o *
 // ctx between its three phases (matching, coloring, dooming), so an
 // abandoned request stops before starting the next super-linear step.
 // A cancelled run returns ctx.Err() and no partial result.
-func RouteCtx(ctx context.Context, c *topology.Clos, fs core.Collection, victim VictimPolicy, o *obs.Obs) (*Result, error) {
+func RouteCtx(ctx context.Context, c topology.Fabric, fs core.Collection, victim VictimPolicy, o *obs.Obs) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -153,10 +153,15 @@ func RouteCtx(ctx context.Context, c *topology.Clos, fs core.Collection, victim 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Step 2: n-edge-coloring of G^C restricted to F'. Edges of G^C are
+	// Step 2: edge-coloring of G^C restricted to F'. Edges of G^C are
 	// the matched flows, identified by their (input, output) ToR pair;
-	// each ToR serves n servers, each used by at most one matched flow,
-	// so the degree is at most n and König guarantees an n-coloring.
+	// each ToR's servers are each used by at most one matched flow, so
+	// the degree is at most ServersPerToR() and König guarantees a
+	// maxDegree-coloring. On a full-bisection Clos that is at most n
+	// colors and the color classes are link-disjoint; an oversubscribed
+	// fabric (servers per ToR > path choices) may need more colors, which
+	// are folded onto the n choices modulo n — classes then share fabric
+	// links, trading the disjointness guarantee for a defined routing.
 	gc := matching.Graph{NumLeft: c.NumToRs(), NumRight: c.NumToRs()}
 	for _, fi := range matched {
 		in, ok := c.InputOf(fs[fi].Src)
@@ -169,20 +174,35 @@ func RouteCtx(ctx context.Context, c *topology.Clos, fs core.Collection, victim 
 		}
 		gc.Edges = append(gc.Edges, matching.Edge{Left: in - 1, Right: out - 1})
 	}
-	colors, err := coloring.EdgeColor(gc, n)
+	degree := make([]int, 2*c.NumToRs())
+	numColors := n
+	for _, e := range gc.Edges {
+		degree[e.Left]++
+		degree[c.NumToRs()+e.Right]++
+	}
+	for _, d := range degree {
+		if d > numColors {
+			numColors = d
+		}
+	}
+	colors, err := coloring.EdgeColor(gc, numColors)
 	if err != nil {
 		return nil, fmt.Errorf("doom: coloring: %w", err)
 	}
 	for ei, fi := range matched {
-		res.Assignment[fi] = colors[ei] + 1
+		res.Assignment[fi] = colors[ei]%n + 1
 	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	// Step 3: doom the remaining flows onto the middle switch chosen by
-	// the victim policy (the paper: smallest color class).
-	sizes := coloring.ClassSizes(colors, n)
+	// the victim policy (the paper: smallest color class). Class sizes
+	// count the folded classes, one per path choice.
+	sizes := make([]int, n)
+	for _, x := range colors {
+		sizes[x%n]++
+	}
 	doomed := victim(sizes)
 	if doomed < 0 || doomed >= n {
 		return nil, fmt.Errorf("doom: victim policy returned color %d outside [0,%d)", doomed, n)
@@ -214,7 +234,7 @@ func RouteCtx(ctx context.Context, c *topology.Clos, fs core.Collection, victim 
 // serverGraph builds G^MS: the bipartite multigraph whose left and right
 // node sets are the source and destination servers of c and whose edges
 // are the flows, with edge index = flow index.
-func serverGraph(c *topology.Clos, fs core.Collection) (matching.Graph, error) {
+func serverGraph(c topology.Fabric, fs core.Collection) (matching.Graph, error) {
 	numServers := c.NumToRs() * c.ServersPerToR()
 	g := matching.Graph{NumLeft: numServers, NumRight: numServers}
 	for fi, f := range fs {

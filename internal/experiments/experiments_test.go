@@ -216,7 +216,7 @@ func TestRunP1(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	runners := All()
-	if len(runners) != 17 {
+	if len(runners) != 18 {
 		t.Fatalf("registry has %d runners", len(runners))
 	}
 	seen := map[string]bool{}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -196,5 +197,41 @@ func TestRunA1(t *testing.T) {
 	}
 	if minR <= 0 {
 		t.Errorf("non-positive min ratio %v", minR)
+	}
+}
+
+// TestRunS3 exercises the cross-family stochastic study at a reduced
+// size: every ratio must be finite, in (0, 1], and carry a finite
+// confidence half-width.
+func TestRunS3(t *testing.T) {
+	tab, err := RunS3([]string{"clos", "benes"}, 3, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // 2 families x 3 traffic models
+		t.Fatalf("%d rows, want 6", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		for _, col := range []int{4, 5, 6, 7, 8} {
+			v, err := strconv.ParseFloat(fmt.Sprint(row[col]), 64)
+			if err != nil {
+				t.Fatalf("row %d col %d: %v", i, col, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1.0001 {
+				t.Errorf("row %d col %d: ratio %v out of range", i, col, v)
+			}
+		}
+	}
+}
+
+// TestRunS3UnknownFamilyEmpty: asking for no known family yields an
+// empty (but well-formed) table rather than an error.
+func TestRunS3UnknownFamilyEmpty(t *testing.T) {
+	tab, err := RunS3([]string{"torus"}, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 0 {
+		t.Errorf("%d rows for unknown family, want 0", len(tab.Rows))
 	}
 }

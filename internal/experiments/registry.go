@@ -37,6 +37,9 @@ func All() []Runner {
 		{"S2", "Per-flow ratio CDFs under baseline routing (§6)", func() (*Table, error) {
 			return RunS2(SimConfig{Sizes: []int{4}, FlowsPerServerPair: 2, Trials: 5, Seed: 1})
 		}},
+		{"S3", "Stochastic vs worst-case routing across topology families (§6)", func() (*Table, error) {
+			return RunS3(nil, 5, 5, 1)
+		}},
 		{"P1", "Splittable demand-satisfaction control (§1)", RunP1},
 		{"E1", "Scheduling vs fair sharing, average FCT (§7 R1)", func() (*Table, error) {
 			return RunE1([]int{1, 2, 4, 8, 16, 32, 64})

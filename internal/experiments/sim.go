@@ -32,29 +32,6 @@ func DefaultSimConfig() SimConfig {
 	return SimConfig{Sizes: []int{4, 8}, FlowsPerServerPair: 2, Trials: 5, Seed: 1}
 }
 
-// workloadGen names one generator of flow collections.
-type workloadGen struct {
-	name string
-	gen  func(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, numFlows int) (workload.Pair, error)
-}
-
-func simWorkloads() []workloadGen {
-	return []workloadGen{
-		{"uniform", func(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, numFlows int) (workload.Pair, error) {
-			return workload.Uniform(rng, c, ms, numFlows)
-		}},
-		{"permutation", func(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, _ int) (workload.Pair, error) {
-			return workload.Permutation(rng, c, ms)
-		}},
-		{"hotspot", func(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, numFlows int) (workload.Pair, error) {
-			return workload.Hotspot(rng, c, ms, numFlows, 0.25)
-		}},
-		{"skewed", func(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, numFlows int) (workload.Pair, error) {
-			return workload.Skewed(rng, c, ms, numFlows, 1.1)
-		}},
-	}
-}
-
 // RunS1 runs the stochastic routing evaluation of §6's extended-version
 // simulation: for every (size, workload, algorithm), flows are offered
 // with their macro-switch rates, routed, and re-allocated by max-min
@@ -81,10 +58,10 @@ func RunS1(cfg SimConfig) (*Table, error) {
 			return nil, err
 		}
 		numFlows := cfg.FlowsPerServerPair * 2 * n * n
-		for _, wg := range simWorkloads() {
+		for _, wg := range workload.Generators() {
 			stats := make([]simStats, len(algs))
 			for trial := 0; trial < cfg.Trials; trial++ {
-				pair, err := wg.gen(rng, c, ms, numFlows)
+				pair, err := wg.Draw(rng, c, ms, numFlows)
 				if err != nil {
 					return nil, err
 				}
@@ -115,7 +92,7 @@ func RunS1(cfg SimConfig) (*Table, error) {
 			for ai, alg := range algs {
 				s := stats[ai]
 				sum := s.summary()
-				t.AddRow(n, wg.name, alg.Name,
+				t.AddRow(n, wg.Name, alg.Name,
 					fmt.Sprintf("%.4f", sum.Mean),
 					fmt.Sprintf("%.4f", sum.P10),
 					fmt.Sprintf("%.4f", sum.Min),
@@ -237,9 +214,9 @@ func RunS2(cfg SimConfig) (*Table, error) {
 		}
 		numFlows := cfg.FlowsPerServerPair * 2 * n * n
 		pooled := make([]simStats, len(algs))
-		for _, wg := range simWorkloads() {
+		for _, wg := range workload.Generators() {
 			for trial := 0; trial < cfg.Trials; trial++ {
-				pair, err := wg.gen(rng, c, ms, numFlows)
+				pair, err := wg.Draw(rng, c, ms, numFlows)
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,178 @@
+package gen_test
+
+// Seed-determinism regression suite (ISSUE 9 satellite): a generated
+// scenario is a pure function of (spec, traffic config) — same seed,
+// byte-identical canonical encoding, across runs and across releases.
+// The golden files under testdata/ pin the exact bytes; regenerate with
+//
+//	go test ./internal/gen -run TestSeedDeterminismGolden -update-golden
+//
+// after an intentional generator change (and say so in the change).
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"closnet/internal/codec"
+	"closnet/internal/gen"
+	"closnet/internal/topology"
+	"closnet/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the seed-determinism golden files")
+
+// goldenCases is the pinned generator surface: every traffic model over
+// every topology family, at fixed shapes and seeds.
+func goldenCases(t *testing.T) map[string]func() (*codec.Scenario, error) {
+	t.Helper()
+	cases := make(map[string]func() (*codec.Scenario, error))
+	specs := map[string]func() (gen.Spec, error){
+		"clos":    func() (gen.Spec, error) { return gen.ClosSpec(3) },
+		"fattree": func() (gen.Spec, error) { return gen.FatTreeSpec(4) },
+		"benes":   func() (gen.Spec, error) { return gen.BenesSpec(8) },
+		"oversub": func() (gen.Spec, error) { return gen.OversubscribedClosSpec(4, 4, 2, 1) },
+	}
+	for sname, mkSpec := range specs {
+		for _, model := range gen.Models() {
+			sname, mkSpec, model := sname, mkSpec, model
+			cases[sname+"-"+model] = func() (*codec.Scenario, error) {
+				sp, err := mkSpec()
+				if err != nil {
+					return nil, err
+				}
+				return gen.Scenario(sp, gen.TrafficConfig{
+					Model:            model,
+					Flows:            5,
+					ElephantFraction: 0.4,
+					Seed:             42,
+				})
+			}
+		}
+	}
+	return cases
+}
+
+// canonicalBytes encodes the canonical form of a scenario — the exact
+// representation the golden files pin.
+func canonicalBytes(t *testing.T, s *codec.Scenario) []byte {
+	t.Helper()
+	c, err := codec.Canonical(s)
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	data, err := codec.Encode(c)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return append(data, '\n')
+}
+
+func TestSeedDeterminismGolden(t *testing.T) {
+	for name, build := range goldenCases(t) {
+		first, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		second, err := build()
+		if err != nil {
+			t.Fatalf("%s rebuild: %v", name, err)
+		}
+		got := canonicalBytes(t, first)
+		if again := canonicalBytes(t, second); !bytes.Equal(got, again) {
+			t.Errorf("%s: two same-seed builds differ", name)
+			continue
+		}
+		path := filepath.Join("testdata", name+".golden.json")
+		if *updateGolden {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatalf("%s: write golden: %v", name, err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update-golden): %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: canonical bytes drifted from golden %s\ngot:\n%s", name, path, got)
+		}
+	}
+}
+
+// TestSeedSensitivity: different seeds must produce different instances
+// (content addresses differ) — the generator actually consumes its seed.
+func TestSeedSensitivity(t *testing.T) {
+	sp, err := gen.FatTreeSpec(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := make(map[[32]byte]int64)
+	for seed := int64(1); seed <= 8; seed++ {
+		s, err := gen.Scenario(sp, gen.TrafficConfig{Model: gen.ModelUniform, Flows: 6, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatalf("seed %d hash: %v", seed, err)
+		}
+		if prev, dup := hashes[h]; dup {
+			t.Errorf("seeds %d and %d collide on the same instance", prev, seed)
+		}
+		hashes[h] = seed
+	}
+}
+
+// TestWorkloadGeneratorDeterminism: every registered workload generator
+// is a pure function of its rng seed — two same-seed draws emit the
+// identical flow sequence, and the Clos and macro-switch collections
+// stay index-parallel.
+func TestWorkloadGeneratorDeterminism(t *testing.T) {
+	c, err := topology.NewClos(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := topology.NewMacroSwitch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range workload.Generators() {
+		a, err := g.Draw(rand.New(rand.NewSource(7)), c, ms, 12)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		b, err := g.Draw(rand.New(rand.NewSource(7)), c, ms, 12)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", g.Name, err)
+		}
+		if len(a.Clos) != len(b.Clos) || len(a.Clos) != len(a.Macro) {
+			t.Fatalf("%s: draw sizes differ (%d, %d, %d)", g.Name, len(a.Clos), len(b.Clos), len(a.Macro))
+		}
+		for fi := range a.Clos {
+			if a.Clos[fi] != b.Clos[fi] || a.Macro[fi] != b.Macro[fi] {
+				t.Errorf("%s: flow %d differs across same-seed draws", g.Name, fi)
+				break
+			}
+		}
+		other, err := g.Draw(rand.New(rand.NewSource(8)), c, ms, 12)
+		if err != nil {
+			t.Fatalf("%s seed 8: %v", g.Name, err)
+		}
+		same := len(other.Clos) == len(a.Clos)
+		if same {
+			for fi := range a.Clos {
+				if a.Clos[fi] != other.Clos[fi] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 7 and 8 drew identical collections", g.Name)
+		}
+	}
+}

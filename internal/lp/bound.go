@@ -30,7 +30,7 @@ import (
 // middle switches. The splittable optima over these path sets upper-
 // bound every unsplittable completion of the partial assignment. Only
 // ma[fixedFrom:] is read.
-func PrefixPaths(c *topology.Clos, fs core.Collection, ma core.MiddleAssignment, fixedFrom int) (PathSets, error) {
+func PrefixPaths(c topology.Fabric, fs core.Collection, ma core.MiddleAssignment, fixedFrom int) (PathSets, error) {
 	if len(ma) != len(fs) {
 		return nil, fmt.Errorf("lp: assignment has %d middles for %d flows", len(ma), len(fs))
 	}

@@ -15,7 +15,7 @@ type PathSets [][]topology.Path
 
 // ClosAllPaths returns, for each flow, its n candidate paths in C_n (one
 // per middle switch).
-func ClosAllPaths(c *topology.Clos, fs core.Collection) (PathSets, error) {
+func ClosAllPaths(c topology.Fabric, fs core.Collection) (PathSets, error) {
 	ps := make(PathSets, len(fs))
 	for i, f := range fs {
 		ps[i] = make([]topology.Path, c.Size())

@@ -34,19 +34,19 @@ type Algorithm struct {
 	// Route assigns every flow a middle switch. demands are the offered
 	// rates (typically macro-switch rates) and may be ignored (ECMP).
 	// rng is used by randomized algorithms and must not be nil for them.
-	Route func(c *topology.Clos, fs core.Collection, demands []float64, rng *rand.Rand) (core.MiddleAssignment, error)
+	Route func(c topology.Fabric, fs core.Collection, demands []float64, rng *rand.Rand) (core.MiddleAssignment, error)
 }
 
 // fabric tracks per-link loads of the two fabric stages.
 type fabric struct {
-	c      *topology.Clos
+	c      topology.Fabric
 	inLoad [][]float64 // [input-1][middle-1]
 	outLd  [][]float64 // [output-1][middle-1]
 	inIdx  []int       // per flow
 	outIdx []int       // per flow
 }
 
-func newFabric(c *topology.Clos, fs core.Collection) (*fabric, error) {
+func newFabric(c topology.Fabric, fs core.Collection) (*fabric, error) {
 	n := c.Size()
 	f := &fabric{
 		c:      c,
@@ -121,7 +121,7 @@ func (f *fabric) maxAndSumSq() (float64, float64) {
 func NewECMP() Algorithm {
 	return Algorithm{
 		Name: "ecmp",
-		Route: func(c *topology.Clos, fs core.Collection, _ []float64, rng *rand.Rand) (core.MiddleAssignment, error) {
+		Route: func(c topology.Fabric, fs core.Collection, _ []float64, rng *rand.Rand) (core.MiddleAssignment, error) {
 			if rng == nil {
 				return nil, fmt.Errorf("routing: ecmp needs a random source")
 			}
@@ -143,13 +143,13 @@ func NewECMP() Algorithm {
 func NewGreedy() Algorithm {
 	return Algorithm{
 		Name: "greedy",
-		Route: func(c *topology.Clos, fs core.Collection, demands []float64, _ *rand.Rand) (core.MiddleAssignment, error) {
+		Route: func(c topology.Fabric, fs core.Collection, demands []float64, _ *rand.Rand) (core.MiddleAssignment, error) {
 			return greedyRoute(c, fs, demands)
 		},
 	}
 }
 
-func greedyRoute(c *topology.Clos, fs core.Collection, demands []float64) (core.MiddleAssignment, error) {
+func greedyRoute(c topology.Fabric, fs core.Collection, demands []float64) (core.MiddleAssignment, error) {
 	if len(demands) != len(fs) {
 		return nil, fmt.Errorf("routing: %d demands for %d flows", len(demands), len(fs))
 	}
@@ -179,7 +179,7 @@ func greedyRoute(c *topology.Clos, fs core.Collection, demands []float64) (core.
 func NewFirstFit() Algorithm {
 	return Algorithm{
 		Name: "first-fit",
-		Route: func(c *topology.Clos, fs core.Collection, demands []float64, _ *rand.Rand) (core.MiddleAssignment, error) {
+		Route: func(c topology.Fabric, fs core.Collection, demands []float64, _ *rand.Rand) (core.MiddleAssignment, error) {
 			if len(demands) != len(fs) {
 				return nil, fmt.Errorf("routing: %d demands for %d flows", len(demands), len(fs))
 			}
@@ -224,7 +224,7 @@ func NewLocalSearch(maxMoves int) Algorithm {
 	}
 	return Algorithm{
 		Name: "local-search",
-		Route: func(c *topology.Clos, fs core.Collection, demands []float64, _ *rand.Rand) (core.MiddleAssignment, error) {
+		Route: func(c topology.Fabric, fs core.Collection, demands []float64, _ *rand.Rand) (core.MiddleAssignment, error) {
 			ma, err := greedyRoute(c, fs, demands)
 			if err != nil {
 				return nil, err

@@ -9,8 +9,8 @@ import (
 
 // blockObjectives are the search entry points whose objectives take the
 // block fast path (both implement blockCapable).
-func blockObjectives() map[string]func(*topology.Clos, core.Collection, Options) (*Result, error) {
-	return map[string]func(*topology.Clos, core.Collection, Options) (*Result, error){
+func blockObjectives() map[string]func(topology.Fabric, core.Collection, Options) (*Result, error) {
+	return map[string]func(topology.Fabric, core.Collection, Options) (*Result, error){
 		"lex":        LexMaxMin,
 		"throughput": ThroughputMaxMin,
 	}

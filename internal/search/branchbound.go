@@ -99,14 +99,80 @@ func (h *bbHeap) Pop() any {
 	return x
 }
 
+// bbSpace is the digit-prefix view the branch-and-bound needs from an
+// enumeration space: the contiguous rank-block decomposition by fixed
+// digit prefixes. The canonical RGS space provides it for fabrics with
+// interchangeable choices; every other fabric gets the full counter
+// space, whose prefixes are plain base-n blocks.
+type bbSpace interface {
+	total() int
+	// childLimit returns the largest digit value a child of a node with
+	// running maximum max may take (RGS growth rule, or n in the full
+	// space).
+	childLimit(max int) int
+	// suffixCount returns the number of completions of a child of a
+	// depth-d node whose running maximum is nm — the child's rank-block
+	// size (suffix length numFlows-1-d).
+	suffixCount(d, nm int) int
+}
+
+func (s *canonSpace) childLimit(max int) int {
+	limit := max + 1
+	if limit > s.n {
+		limit = s.n
+	}
+	return limit
+}
+
+func (s *canonSpace) suffixCount(d, nm int) int {
+	return s.counts[s.numFlows-1-d][nm-1]
+}
+
+// bbFullSpace adapts the full counter space to the prefix view. Digit
+// j is ma[numFlows-1-j] (most significant first), so a digit prefix is
+// a contiguous rank block of size n^(suffix length), children in
+// ascending digit order are in ascending rank order, and bbRun's
+// materialization and fixedFrom bookkeeping apply unchanged.
+type bbFullSpace struct {
+	*fullSpace
+	pows []int // pows[r] = n^r; safe: n^numFlows passed the maxStates check
+}
+
+func newBBFullSpace(n, numFlows, maxStates int) (*bbFullSpace, error) {
+	fs, err := newFullSpace(n, numFlows, maxStates)
+	if err != nil {
+		return nil, err
+	}
+	pows := make([]int, numFlows+1)
+	pows[0] = 1
+	for r := 1; r <= numFlows; r++ {
+		pows[r] = pows[r-1] * n
+	}
+	return &bbFullSpace{fullSpace: fs, pows: pows}, nil
+}
+
+func (s *bbFullSpace) childLimit(int) int { return s.n }
+
+func (s *bbFullSpace) suffixCount(d, _ int) int {
+	return s.pows[s.numFlows-1-d]
+}
+
 // runBranchBound is the pruned counterpart of runEngine: same journal
 // envelope (search.start/incumbent/end), same Result semantics except
 // that States counts bound plus leaf evaluations.
-func runBranchBound(c *topology.Clos, fs core.Collection, opts Options, obj bbObjective) (*Result, error) {
+func runBranchBound(c topology.Fabric, fs core.Collection, opts Options, obj bbObjective) (*Result, error) {
 	if len(fs) == 0 {
 		return &Result{Assignment: core.MiddleAssignment{}, Allocation: core.Allocation{}, States: 1}, nil
 	}
-	space, err := newCanonSpace(c.Size(), len(fs), opts.maxStates())
+	var (
+		space bbSpace
+		err   error
+	)
+	if c.SymmetricChoices() {
+		space, err = newCanonSpace(c.Size(), len(fs), opts.maxStates())
+	} else {
+		space, err = newBBFullSpace(c.Size(), len(fs), opts.maxStates())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -136,9 +202,8 @@ func runBranchBound(c *topology.Clos, fs core.Collection, opts Options, obj bbOb
 	return res, nil
 }
 
-func bbRun(ctx context.Context, c *topology.Clos, fs core.Collection, space *canonSpace, opts Options, obj bbObjective, eo engineObs) (*Result, error) {
+func bbRun(ctx context.Context, c topology.Fabric, fs core.Collection, space bbSpace, opts Options, obj bbObjective, eo engineObs) (*Result, error) {
 	nf := len(fs)
-	n := c.Size()
 	bev, err := core.NewBlockEvaluator(c, fs)
 	if err != nil {
 		return nil, err
@@ -192,10 +257,7 @@ func bbRun(ctx context.Context, c *topology.Clos, fs core.Collection, space *can
 			continue
 		}
 		d := node.depth
-		limit := node.max + 1
-		if limit > n {
-			limit = n
-		}
+		limit := space.childLimit(node.max)
 		childLo := node.lo
 		leafBuf, leafLo = leafBuf[:0], leafLo[:0]
 		for v := 1; v <= limit; v++ {
@@ -203,7 +265,7 @@ func bbRun(ctx context.Context, c *topology.Clos, fs core.Collection, space *can
 			if v > nm {
 				nm = v
 			}
-			size := space.counts[nf-1-d][nm-1]
+			size := space.suffixCount(d, nm)
 			lo := childLo
 			childLo += size
 			// Materialize the child's fixed suffix: digit j is
@@ -270,7 +332,7 @@ func bbRun(ctx context.Context, c *topology.Clos, fs core.Collection, space *can
 
 // lexBranchBound runs the pruned lex-max-min search: trunk-relaxation
 // bounds compared as sorted vectors.
-func lexBranchBound(c *topology.Clos, fs core.Collection, opts Options) (*Result, error) {
+func lexBranchBound(c topology.Fabric, fs core.Collection, opts Options) (*Result, error) {
 	pe, err := core.NewPartialEvaluator(c, fs)
 	if err != nil {
 		return nil, err
@@ -291,12 +353,13 @@ func lexBranchBound(c *topology.Clos, fs core.Collection, opts Options) (*Result
 // throughputBranchBound runs the pruned throughput-max-min search:
 // certified splittable-LP bounds on the prefix paths, capped by the
 // Lemma 3.2 matching bound, compared as length-1 vectors.
-func throughputBranchBound(c *topology.Clos, fs core.Collection, opts Options) (*Result, error) {
-	ub, err := maxMatchingSize(fs)
+func throughputBranchBound(c topology.Fabric, fs core.Collection, opts Options) (*Result, error) {
+	// ubRat is nil when the matching ceiling's unit-endpoint premise
+	// fails; the LP bound alone is always admissible.
+	ubRat, err := matchingBound(c, fs)
 	if err != nil {
 		return nil, err
 	}
-	ubRat := rational.Int(int64(ub))
 	net := c.Network()
 	obj := bbObjective{
 		leafValue: func(a core.Allocation) rational.Vec {
@@ -311,7 +374,7 @@ func throughputBranchBound(c *topology.Clos, fs core.Collection, opts Options) (
 			if err != nil {
 				return nil, err
 			}
-			if bound.Cmp(ubRat) > 0 {
+			if ubRat != nil && bound.Cmp(ubRat) > 0 {
 				bound = new(big.Rat).Set(ubRat)
 			}
 			return rational.Vec{bound}, nil

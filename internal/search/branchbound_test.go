@@ -17,7 +17,7 @@ import (
 // the contended bench shapes.
 type prunedCase struct {
 	name string
-	c    *topology.Clos
+	c    topology.Fabric
 	fs   core.Collection
 }
 

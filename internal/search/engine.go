@@ -183,7 +183,7 @@ func (o Options) workerCount() int {
 // of fs in c. The incumbent (assignment and allocation) is bit-identical
 // for every worker count and for both enumeration spaces; Result.States
 // counts the states of the space actually enumerated.
-func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective func() objective) (*Result, error) {
+func runEngine(c topology.Fabric, fs core.Collection, opts Options, newObjective func() objective) (*Result, error) {
 	if len(fs) == 0 {
 		return &Result{Assignment: core.MiddleAssignment{}, Allocation: core.Allocation{}, States: 1}, nil
 	}
@@ -191,10 +191,14 @@ func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 		s   enumSpace
 		err error
 	)
-	if opts.FullSpace {
-		s, err = newFullSpace(c.Size(), len(fs), opts.maxStates())
-	} else {
+	// Canonical (orbit-representative) enumeration is only sound when
+	// relabeling the choice alphabet is an automorphism; fabrics without
+	// that symmetry (fat-tree, Benes) always scan the full space.
+	canon := !opts.FullSpace && c.SymmetricChoices()
+	if canon {
 		s, err = newCanonSpace(c.Size(), len(fs), opts.maxStates())
+	} else {
+		s, err = newFullSpace(c.Size(), len(fs), opts.maxStates())
 	}
 	if err != nil {
 		return nil, err
@@ -209,7 +213,7 @@ func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 	}
 	eo := newEngineObs(opts.Obs)
 	space := "canonical"
-	if opts.FullSpace {
+	if !canon {
 		space = "full"
 	}
 	eo.spaceTotal.Add(int64(s.total()))
@@ -248,7 +252,7 @@ func runEngine(c *topology.Clos, fs core.Collection, opts Options, newObjective 
 // walk of enumerate evaluating core.ClosMaxMinFair per state. The
 // equivalence tests cross-check the Evaluator-based sharded engine (and
 // the canonical enumeration) against this independent implementation.
-func runSerial(ctx context.Context, c *topology.Clos, fs core.Collection, opts Options, newObjective func() objective, eo engineObs) (*Result, error) {
+func runSerial(ctx context.Context, c topology.Fabric, fs core.Collection, opts Options, newObjective func() objective, eo engineObs) (*Result, error) {
 	sp, ctx := obs.StartSpan(ctx, "search.shard")
 	sp.Attr("shard", 0)
 	defer sp.End()
@@ -321,7 +325,7 @@ type blockCapable interface {
 	fastImproves(rates []rational.Rat64) (improves, ok bool)
 }
 
-func runSharded(ctx context.Context, c *topology.Clos, fs core.Collection, s enumSpace, workers, blockSize int, newObjective func() objective, eo engineObs) (*Result, error) {
+func runSharded(ctx context.Context, c topology.Fabric, fs core.Collection, s enumSpace, workers, blockSize int, newObjective func() objective, eo engineObs) (*Result, error) {
 	var (
 		stopRank atomic.Int64 // exclusive bound: ranks ≥ stopRank are unneeded
 		stopped  atomic.Bool  // some worker published a stop rank

@@ -67,7 +67,7 @@ func (o *ratioObjective) optimal() bool { return false }
 // fairness objective proposed in the paper's conclusions (§7, R2) as an
 // alternative to lex-max-min fairness. Exhaustive; subject to the same
 // state cap and worker sharding as the other optimizers.
-func RelativeMaxMin(c *topology.Clos, fs core.Collection, target rational.Vec, opts Options) (*RelativeResult, error) {
+func RelativeMaxMin(c topology.Fabric, fs core.Collection, target rational.Vec, opts Options) (*RelativeResult, error) {
 	if len(target) != len(fs) {
 		return nil, fmt.Errorf("search: %d targets for %d flows", len(target), len(fs))
 	}
@@ -100,7 +100,7 @@ func RelativeMaxMin(c *topology.Clos, fs core.Collection, target rational.Vec, o
 // HillClimbRelative improves a starting routing by single-flow reroutes
 // that strictly increase the minimum network/target ratio, stopping at a
 // local optimum or after maxMoves moves (0 means 1000).
-func HillClimbRelative(c *topology.Clos, fs core.Collection, target rational.Vec, start core.MiddleAssignment, maxMoves int) (*RelativeResult, error) {
+func HillClimbRelative(c topology.Fabric, fs core.Collection, target rational.Vec, start core.MiddleAssignment, maxMoves int) (*RelativeResult, error) {
 	if len(target) != len(fs) {
 		return nil, fmt.Errorf("search: %d targets for %d flows", len(target), len(fs))
 	}

@@ -240,7 +240,7 @@ func (o *lexObjective) optimal() bool { return false }
 // maximum over all routings. By default it enumerates exhaustively;
 // with Options.Pruned it runs the bound-guided branch-and-bound, which
 // returns the bit-identical incumbent while visiting fewer states.
-func LexMaxMin(c *topology.Clos, fs core.Collection, opts Options) (*Result, error) {
+func LexMaxMin(c topology.Fabric, fs core.Collection, opts Options) (*Result, error) {
 	if opts.Pruned {
 		if opts.FullSpace {
 			return nil, errors.New("search: Pruned and FullSpace are mutually exclusive")
@@ -288,7 +288,9 @@ func (o *throughputObjective) improves(a core.Allocation) bool {
 
 func (o *throughputObjective) install(core.Allocation) { o.best = o.cand }
 
-func (o *throughputObjective) optimal() bool { return o.best != nil && o.best.Cmp(o.ub) >= 0 }
+func (o *throughputObjective) optimal() bool {
+	return o.ub != nil && o.best != nil && o.best.Cmp(o.ub) >= 0
+}
 
 // ThroughputMaxMin finds a throughput-max-min fair allocation
 // (Definition 2.5) by exhaustive enumeration: the max-min fair allocation
@@ -297,19 +299,62 @@ func (o *throughputObjective) optimal() bool { return o.best != nil && o.best.Cm
 // which upper-bounds T^T-MmF via T^T-MmF ≤ T^T-MT = T^MT (Lemma 5.2 and
 // Lemma 3.2); the abort propagates to every enumeration worker, so the
 // states after the stopping one are never evaluated.
-func ThroughputMaxMin(c *topology.Clos, fs core.Collection, opts Options) (*Result, error) {
+func ThroughputMaxMin(c topology.Fabric, fs core.Collection, opts Options) (*Result, error) {
 	if opts.Pruned {
 		if opts.FullSpace {
 			return nil, errors.New("search: Pruned and FullSpace are mutually exclusive")
 		}
 		return throughputBranchBound(c, fs, opts)
 	}
+	ubRat, err := matchingBound(c, fs)
+	if err != nil {
+		return nil, err
+	}
+	return runEngine(c, fs, opts, func() objective { return &throughputObjective{ub: ubRat} })
+}
+
+// matchingBound returns the Lemma 3.2 throughput ceiling |F'| when it
+// applies, or nil when it does not. The ceiling's proof charges every
+// flow against its endpoint server links, so it requires each flow
+// endpoint to attach through a single finite link of capacity at most
+// one — true for every fabric this library builds, but re-verified here
+// so a future fabric with fatter server links cannot inherit an unsound
+// early exit or branch-and-bound cap.
+func matchingBound(c topology.Fabric, fs core.Collection) (*big.Rat, error) {
+	net := c.Network()
+	one := rational.One()
+	inLinks := make(map[topology.NodeID]int)
+	inOK := make(map[topology.NodeID]bool)
+	needed := make(map[topology.NodeID]bool)
+	for _, f := range fs {
+		needed[f.Dst] = true
+	}
+	links := net.Links()
+	for i := range links {
+		l := &links[i]
+		if needed[l.To] {
+			inLinks[l.To]++
+			inOK[l.To] = !l.Unbounded && l.Capacity.Cmp(one) <= 0
+		}
+	}
+	for _, f := range fs {
+		out := net.OutLinks(f.Src)
+		if len(out) != 1 {
+			return nil, nil
+		}
+		l := net.Link(out[0])
+		if l.Unbounded || l.Capacity.Cmp(one) > 0 {
+			return nil, nil
+		}
+		if inLinks[f.Dst] != 1 || !inOK[f.Dst] {
+			return nil, nil
+		}
+	}
 	ub, err := maxMatchingSize(fs)
 	if err != nil {
 		return nil, err
 	}
-	ubRat := rational.Int(int64(ub))
-	return runEngine(c, fs, opts, func() objective { return &throughputObjective{ub: ubRat} })
+	return rational.Int(int64(ub)), nil
 }
 
 // maxMatchingSize computes |F'| of G^MS for the collection, the
@@ -347,7 +392,7 @@ type Neighbor struct {
 // This mirrors the deviation analysis of the paper's Step 2 arguments
 // (Lemma 4.6): a posited lex-max-min witness must at minimum admit no
 // improving single-flow deviation.
-func ImprovingNeighbor(c *topology.Clos, fs core.Collection, ma core.MiddleAssignment) (*Neighbor, error) {
+func ImprovingNeighbor(c topology.Fabric, fs core.Collection, ma core.MiddleAssignment) (*Neighbor, error) {
 	base, err := core.ClosMaxMinFair(c, fs, ma)
 	if err != nil {
 		return nil, err
@@ -376,7 +421,7 @@ func ImprovingNeighbor(c *topology.Clos, fs core.Collection, ma core.MiddleAssig
 
 // IsLocalLexOptimal reports whether no single-flow reroute of ma improves
 // the sorted max-min fair vector lexicographically.
-func IsLocalLexOptimal(c *topology.Clos, fs core.Collection, ma core.MiddleAssignment) (bool, error) {
+func IsLocalLexOptimal(c topology.Fabric, fs core.Collection, ma core.MiddleAssignment) (bool, error) {
 	nb, err := ImprovingNeighbor(c, fs, ma)
 	if err != nil {
 		return false, err
@@ -388,7 +433,7 @@ func IsLocalLexOptimal(c *topology.Clos, fs core.Collection, ma core.MiddleAssig
 // none exists, returning the locally lex-optimal routing reached and the
 // number of moves taken. maxMoves guards against long walks (0 means
 // 1000).
-func HillClimbLex(c *topology.Clos, fs core.Collection, start core.MiddleAssignment, maxMoves int) (*Result, int, error) {
+func HillClimbLex(c topology.Fabric, fs core.Collection, start core.MiddleAssignment, maxMoves int) (*Result, int, error) {
 	if maxMoves <= 0 {
 		maxMoves = 1000
 	}

@@ -18,8 +18,9 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite the golden respons
 // pinned byte-for-byte in testdata/golden. The suite replays the §4 C_4
 // loadgen corpus through /v1/evaluate and /v1/doom, plus the C_3
 // replication-impossibility instance through every /v1/search
-// objective, so any refactor of the compute path that changes a single
-// response byte fails loudly.
+// objective, plus the generated fat-tree/Benes/oversubscribed-Clos
+// corpus instances, so any refactor of the compute path that changes a
+// single response byte fails loudly.
 type goldenCase struct {
 	name    string // golden file stem
 	path    string // endpoint path with query
@@ -54,6 +55,21 @@ func goldenCases(t *testing.T) []goldenCase {
 			"/v1/search?objective=" + objective,
 			ex[0],
 		})
+	}
+
+	// The generated non-Clos families (fixed-seed fat-tree, Benes and
+	// oversubscribed-Clos instances, small enough for exhaustive
+	// search) pin the general-network compute path end to end.
+	gens, gnames, err := corpus.Build(0, []string{"genfattree", "genbenes", "genoversub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, body := range gens {
+		cases = append(cases,
+			goldenCase{"evaluate_" + gnames[i], "/v1/evaluate", body},
+			goldenCase{"doom_" + gnames[i], "/v1/doom", body},
+			goldenCase{"search_throughput_" + gnames[i], "/v1/search?objective=throughput", body},
+		)
 	}
 	return cases
 }

@@ -86,3 +86,27 @@ func FractionAtMost(xs []float64, thresholds []float64) []float64 {
 func FormatFraction(f float64) string {
 	return fmt.Sprintf("%5.1f%%", 100*f)
 }
+
+// MeanCI95 returns the sample mean and the half-width of its normal
+// 95% confidence interval, 1.96·s/√n with s the sample standard
+// deviation (Bessel-corrected). Samples of size < 2 have no spread
+// estimate and yield a zero half-width.
+func MeanCI95(xs []float64) (mean, halfWidth float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		varSum += d * d
+	}
+	s := math.Sqrt(varSum / float64(len(xs)-1))
+	return mean, 1.96 * s / math.Sqrt(float64(len(xs)))
+}

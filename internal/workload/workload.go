@@ -11,12 +11,15 @@
 // Generators are deterministic given the caller's *rand.Rand, and every
 // generator also emits the parallel macro-switch collection so that
 // network rates can be compared against macro-switch rates flow by flow.
+// ByName exposes the generators as a named registry with canonical
+// parameters, so CLIs and scenario builders select models by flag.
 package workload
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"closnet/internal/core"
 	"closnet/internal/topology"
@@ -49,60 +52,66 @@ func (g *gen) add(si, sj, di, dj int) {
 	g.pair.Macro = append(g.pair.Macro, core.Flow{Src: g.ms.Source(si, sj), Dst: g.ms.Dest(di, dj)})
 }
 
-// Uniform draws numFlows independent flows with uniformly random sources
-// and destinations.
-func Uniform(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, numFlows int) (Pair, error) {
+// draw is the shared driver of every generator: it validates the flow
+// count and the Clos/macro-switch shape agreement once, then hands the
+// emitter to the model body.
+func draw(c *topology.Clos, ms *topology.MacroSwitch, numFlows int, body func(g *gen)) (Pair, error) {
+	if numFlows < 0 {
+		return Pair{}, fmt.Errorf("workload: negative flow count %d", numFlows)
+	}
 	g, err := newGen(c, ms)
 	if err != nil {
 		return Pair{}, err
 	}
-	tors, spt := c.NumToRs(), c.ServersPerToR()
-	for f := 0; f < numFlows; f++ {
-		g.add(rng.Intn(tors)+1, rng.Intn(spt)+1, rng.Intn(tors)+1, rng.Intn(spt)+1)
-	}
+	body(g)
 	return g.pair, nil
+}
+
+// Uniform draws numFlows independent flows with uniformly random sources
+// and destinations.
+func Uniform(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, numFlows int) (Pair, error) {
+	return draw(c, ms, numFlows, func(g *gen) {
+		tors, spt := c.NumToRs(), c.ServersPerToR()
+		for f := 0; f < numFlows; f++ {
+			g.add(rng.Intn(tors)+1, rng.Intn(spt)+1, rng.Intn(tors)+1, rng.Intn(spt)+1)
+		}
+	})
 }
 
 // Permutation draws a uniformly random bijection from sources to
 // destinations: one flow per server on each side.
 func Permutation(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch) (Pair, error) {
-	g, err := newGen(c, ms)
-	if err != nil {
-		return Pair{}, err
-	}
-	spt := c.ServersPerToR()
-	num := c.NumToRs() * spt
-	perm := rng.Perm(num)
-	for s := 0; s < num; s++ {
-		d := perm[s]
-		g.add(s/spt+1, s%spt+1, d/spt+1, d%spt+1)
-	}
-	return g.pair, nil
+	return draw(c, ms, 0, func(g *gen) {
+		spt := c.ServersPerToR()
+		num := c.NumToRs() * spt
+		perm := rng.Perm(num)
+		for s := 0; s < num; s++ {
+			d := perm[s]
+			g.add(s/spt+1, s%spt+1, d/spt+1, d%spt+1)
+		}
+	})
 }
 
-// Hotspot draws numFlows flows of which a hotFraction (rounded down)
-// target a single random destination server (incast); the rest are
-// uniform. hotFraction must lie in [0, 1].
+// Hotspot draws numFlows flows of which a hotFraction (rounded to the
+// nearest count) target a single random destination server (incast);
+// the rest are uniform. hotFraction must lie in [0, 1].
 func Hotspot(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, numFlows int, hotFraction float64) (Pair, error) {
 	if hotFraction < 0 || hotFraction > 1 {
 		return Pair{}, fmt.Errorf("workload: hot fraction %v outside [0,1]", hotFraction)
 	}
-	g, err := newGen(c, ms)
-	if err != nil {
-		return Pair{}, err
-	}
-	tors, spt := c.NumToRs(), c.ServersPerToR()
-	hotI, hotJ := rng.Intn(tors)+1, rng.Intn(spt)+1
-	hot := int(float64(numFlows) * hotFraction)
-	for f := 0; f < numFlows; f++ {
-		si, sj := rng.Intn(tors)+1, rng.Intn(spt)+1
-		if f < hot {
-			g.add(si, sj, hotI, hotJ)
-		} else {
-			g.add(si, sj, rng.Intn(tors)+1, rng.Intn(spt)+1)
+	return draw(c, ms, numFlows, func(g *gen) {
+		tors, spt := c.NumToRs(), c.ServersPerToR()
+		hotI, hotJ := rng.Intn(tors)+1, rng.Intn(spt)+1
+		hot := int(math.Round(float64(numFlows) * hotFraction))
+		for f := 0; f < numFlows; f++ {
+			si, sj := rng.Intn(tors)+1, rng.Intn(spt)+1
+			if f < hot {
+				g.add(si, sj, hotI, hotJ)
+			} else {
+				g.add(si, sj, rng.Intn(tors)+1, rng.Intn(spt)+1)
+			}
 		}
-	}
-	return g.pair, nil
+	})
 }
 
 // Skewed draws numFlows flows whose source servers follow a Zipf-like
@@ -112,34 +121,80 @@ func Skewed(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, numFlows
 	if s <= 0 {
 		return Pair{}, fmt.Errorf("workload: skew exponent %v must be positive", s)
 	}
-	g, err := newGen(c, ms)
-	if err != nil {
-		return Pair{}, err
-	}
-	tors, spt := c.NumToRs(), c.ServersPerToR()
-	num := tors * spt
-	// Cumulative Zipf weights over a random server ordering.
-	order := rng.Perm(num)
-	weights := make([]float64, num)
-	total := 0.0
-	for rank := range weights {
-		w := 1.0 / math.Pow(float64(rank+1), s)
-		weights[rank] = w
-		total += w
-	}
-	draw := func() int {
-		x := rng.Float64() * total
-		for rank, w := range weights {
-			x -= w
-			if x <= 0 {
-				return order[rank]
-			}
+	return draw(c, ms, numFlows, func(g *gen) {
+		tors, spt := c.NumToRs(), c.ServersPerToR()
+		num := tors * spt
+		// Cumulative Zipf weights over a random server ordering.
+		order := rng.Perm(num)
+		weights := make([]float64, num)
+		total := 0.0
+		for rank := range weights {
+			w := 1.0 / math.Pow(float64(rank+1), s)
+			weights[rank] = w
+			total += w
 		}
-		return order[num-1]
+		pick := func() int {
+			x := rng.Float64() * total
+			for rank, w := range weights {
+				x -= w
+				if x <= 0 {
+					return order[rank]
+				}
+			}
+			return order[num-1]
+		}
+		for f := 0; f < numFlows; f++ {
+			src := pick()
+			g.add(src/spt+1, src%spt+1, rng.Intn(tors)+1, rng.Intn(spt)+1)
+		}
+	})
+}
+
+// Generator is a named workload model with a uniform drawing signature.
+// Models with extra parameters are registered with their canonical
+// values (hotspot: 25% hot flows; skewed: Zipf exponent 1.1), the ones
+// the §6 simulation uses. Permutation ignores numFlows (its flow count
+// is the server count).
+type Generator struct {
+	Name string
+	Draw func(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, numFlows int) (Pair, error)
+}
+
+// Generators returns the registry of named workload models in
+// presentation order.
+func Generators() []Generator {
+	return []Generator{
+		{"uniform", Uniform},
+		{"permutation", func(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, _ int) (Pair, error) {
+			return Permutation(rng, c, ms)
+		}},
+		{"hotspot", func(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, numFlows int) (Pair, error) {
+			return Hotspot(rng, c, ms, numFlows, 0.25)
+		}},
+		{"skewed", func(rng *rand.Rand, c *topology.Clos, ms *topology.MacroSwitch, numFlows int) (Pair, error) {
+			return Skewed(rng, c, ms, numFlows, 1.1)
+		}},
 	}
-	for f := 0; f < numFlows; f++ {
-		src := draw()
-		g.add(src/spt+1, src%spt+1, rng.Intn(tors)+1, rng.Intn(spt)+1)
+}
+
+// Names returns the registered generator names in sorted order.
+func Names() []string {
+	gens := Generators()
+	names := make([]string, len(gens))
+	for i, g := range gens {
+		names[i] = g.Name
 	}
-	return g.pair, nil
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the named generator, or an error listing the known
+// names.
+func ByName(name string) (Generator, error) {
+	for _, g := range Generators() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return Generator{}, fmt.Errorf("workload: unknown generator %q (known: %v)", name, Names())
 }

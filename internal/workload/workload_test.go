@@ -2,6 +2,8 @@ package workload
 
 import (
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 
 	"closnet/internal/core"
@@ -176,5 +178,91 @@ func TestWorkloadsAreAllocatable(t *testing.T) {
 	}
 	if len(closRates) != 12 {
 		t.Fatalf("clos rates = %v", closRates)
+	}
+}
+
+// TestHotspotRoundsHotCount pins the ISSUE 9 satellite fix: the hot
+// flow count is hotFraction·numFlows rounded to the NEAREST integer,
+// not truncated. With 7 flows at 0.5 the old truncation produced 3 hot
+// flows; rounding produces 4, so the hottest destination must see at
+// least 4 flows under every seed.
+func TestHotspotRoundsHotCount(t *testing.T) {
+	c, ms := pairTopologies(2)
+	for seed := int64(1); seed <= 10; seed++ {
+		p, err := Hotspot(rand.New(rand.NewSource(seed)), c, ms, 7, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := 0
+		for _, count := range p.Clos.PerDestination() {
+			if count > max {
+				max = count
+			}
+		}
+		if max < 4 {
+			t.Errorf("seed %d: hottest destination has %d flows, want >= 4 (round, not truncate)", seed, max)
+		}
+	}
+}
+
+// TestNegativeFlowCountRejected: every generator that takes a flow
+// count validates it uniformly — a negative count is an error, never a
+// silent empty draw or a panic.
+func TestNegativeFlowCountRejected(t *testing.T) {
+	c, ms := pairTopologies(2)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Uniform(rng, c, ms, -1); err == nil {
+		t.Error("Uniform accepted a negative flow count")
+	}
+	if _, err := Hotspot(rng, c, ms, -3, 0.5); err == nil {
+		t.Error("Hotspot accepted a negative flow count")
+	}
+	if _, err := Skewed(rng, c, ms, -7, 1.1); err == nil {
+		t.Error("Skewed accepted a negative flow count")
+	}
+	for _, g := range Generators() {
+		if g.Name == "permutation" {
+			continue // ignores numFlows by contract
+		}
+		if _, err := g.Draw(rng, c, ms, -2); err == nil {
+			t.Errorf("generator %s accepted a negative flow count", g.Name)
+		}
+	}
+}
+
+// TestGeneratorRegistry: the registry exposes all four models, Names is
+// sorted, ByName round-trips, and unknown names error with the known
+// list.
+func TestGeneratorRegistry(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	want := []string{"hotspot", "permutation", "skewed", "uniform"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	c, ms := pairTopologies(2)
+	for _, name := range names {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if g.Name != name {
+			t.Errorf("ByName(%s).Name = %s", name, g.Name)
+		}
+		p, err := g.Draw(rand.New(rand.NewSource(5)), c, ms, 6)
+		if err != nil {
+			t.Fatalf("%s draw: %v", name, err)
+		}
+		checkPair(t, c, ms, p)
+	}
+	if _, err := ByName("zipfian"); err == nil || !strings.Contains(err.Error(), "hotspot") {
+		t.Errorf("ByName(zipfian) = %v, want error listing known names", err)
 	}
 }
