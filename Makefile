@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-block verify experiments trace serve loadgen cover fuzz clean
+.PHONY: all build test vet race bench bench-json bench-block bench-delta verify experiments trace serve loadgen cover fuzz clean
 
 all: build vet test
 
@@ -30,6 +30,12 @@ bench-json:
 # block path, failing below the CI speedup bar.
 bench-block:
 	$(GO) run ./cmd/closbench -only-block -min-block-speedup 1.5
+
+# The incremental-evaluator smoke pair: full per-event recompute vs the
+# delta-aware water filling on the 64-event C_5 trace, failing below
+# the CI speedup bar.
+bench-delta:
+	$(GO) run ./cmd/closbench -only-delta -min-delta-speedup 2
 
 # Re-measure every theorem bound; non-zero exit on any violation.
 verify:

@@ -18,6 +18,10 @@
 //     the default search path) vs the per-state path (BlockSize -1) on
 //     the same instances, with the ns/op ratio published as
 //     block_speedup_c5
+//   - delta evaluation: the incremental evaluator replaying a seeded
+//     64-event C_5 arrival/departure trace (core.IncrementalEvaluator)
+//     vs per-event full recompute, with the ns/op ratio published as
+//     delta_speedup
 //
 // Usage:
 //
@@ -26,6 +30,8 @@
 //	closbench -o BENCH.json -force   overwrite even if the report shrinks
 //	closbench -only-block -min-block-speedup 1.5   CI smoke: C_5
 //	    block-vs-per-state pair only, non-zero exit below the bar
+//	closbench -only-delta -min-delta-speedup 2   CI smoke: C_5
+//	    incremental-vs-full delta pair only, non-zero exit below the bar
 //
 // Writing to an existing report file refuses to proceed when the new
 // report would carry fewer benchmark entries than the one on disk, or
@@ -93,6 +99,13 @@ type Report struct {
 	// (identical state count, bit-identical result). The acceptance bar
 	// is ≥ 2.
 	BlockSpeedupC5 float64 `json:"block_speedup_c5"`
+	// DeltaSpeedup is the full-recompute ns/op over the incremental
+	// ns/op on the same 64-event C_5 arrival/departure trace: per event,
+	// the full path rebuilds a core.Evaluator and water-fills from
+	// scratch, the incremental path replays the delta through one
+	// core.IncrementalEvaluator (both produce bit-identical rates; the
+	// core property tests pin that). The acceptance bar is ≥ 5.
+	DeltaSpeedup float64 `json:"delta_speedup"`
 	// Obs is the final metrics-registry snapshot of the run, present only
 	// when closbench is invoked with -metrics.
 	Obs *obs.Snapshot `json:"observability,omitempty"`
@@ -174,6 +187,103 @@ func benchLexSearch(name string, c *topology.Clos, fs core.Collection, opts sear
 	})
 }
 
+// deltaEvent is one step of the dynamic-workload trace: an arrival
+// (flow + middle) or the departure of the live flow at index depart
+// (indices shift as earlier flows leave, exactly as both replayers
+// maintain their live lists).
+type deltaEvent struct {
+	arrive bool
+	flow   core.Flow
+	middle int
+	depart int
+}
+
+// deltaTrace generates the seeded 64-event C_5 arrival/departure trace
+// both delta benchmarks replay: arrivals dominate (p = 0.6) so the live
+// set grows into the tens of flows and the water filling has several
+// freeze rounds per event.
+func deltaTrace(c *topology.Clos, events int) []deltaEvent {
+	rng := rand.New(rand.NewSource(7))
+	evs := make([]deltaEvent, 0, events)
+	live := 0
+	for len(evs) < events {
+		if live == 0 || rng.Float64() < 0.6 {
+			evs = append(evs, deltaEvent{
+				arrive: true,
+				flow: core.Flow{
+					Src: c.Source(rng.Intn(c.NumToRs())+1, rng.Intn(c.ServersPerToR())+1),
+					Dst: c.Dest(rng.Intn(c.NumToRs())+1, rng.Intn(c.ServersPerToR())+1),
+				},
+				middle: rng.Intn(c.Size()) + 1,
+			})
+			live++
+		} else {
+			evs = append(evs, deltaEvent{depart: rng.Intn(live)})
+			live--
+		}
+	}
+	return evs
+}
+
+// benchDeltaIncremental measures one full trace replay per op through a
+// fresh core.IncrementalEvaluator: every event is one Arrive/Depart
+// call whose refill reuses the saturated-set prefix of the previous
+// fill.
+func benchDeltaIncremental(c *topology.Clos, evs []deltaEvent) (Bench, error) {
+	return measure("DeltaEvalIncrementalC5", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ie := core.NewIncrementalEvaluator(c)
+			handles := make([]core.FlowID, 0, len(evs))
+			for _, ev := range evs {
+				if ev.arrive {
+					h, err := ie.Arrive(ev.flow, ev.middle)
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles = append(handles, h)
+				} else {
+					h := handles[ev.depart]
+					handles = append(handles[:ev.depart], handles[ev.depart+1:]...)
+					if err := ie.Depart(h); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}
+
+// benchDeltaFull measures the same trace with the pre-incremental
+// discipline: after every event, build a fresh core.Evaluator over the
+// live flow set and water-fill from scratch.
+func benchDeltaFull(c *topology.Clos, evs []deltaEvent) (Bench, error) {
+	return measure("DeltaEvalFullC5", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			flows := make(core.Collection, 0, len(evs))
+			ma := make(core.MiddleAssignment, 0, len(evs))
+			for _, ev := range evs {
+				if ev.arrive {
+					flows = append(flows, ev.flow)
+					ma = append(ma, ev.middle)
+				} else {
+					flows = append(flows[:ev.depart], flows[ev.depart+1:]...)
+					ma = append(ma[:ev.depart], ma[ev.depart+1:]...)
+				}
+				if len(flows) == 0 {
+					continue
+				}
+				ev2, err := core.NewEvaluator(c, flows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ev2.Eval(ma); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 func measure(name string, states int, fn func(b *testing.B)) (Bench, error) {
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -202,6 +312,8 @@ func run(args []string) error {
 	force := fl.Bool("force", false, "overwrite -o even when the new report has fewer benchmarks than the existing file")
 	onlyBlock := fl.Bool("only-block", false, "run only the C_5 block-vs-per-state pair (the CI smoke subset)")
 	minBlockSpeedup := fl.Float64("min-block-speedup", 0, "exit non-zero when block_speedup_c5 falls below this (0 disables)")
+	onlyDelta := fl.Bool("only-delta", false, "run only the C_5 incremental-vs-full delta pair (the CI smoke subset)")
+	minDeltaSpeedup := fl.Float64("min-delta-speedup", 0, "exit non-zero when delta_speedup falls below this (0 disables)")
 	ob := obs.AddFlags(fl)
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -241,7 +353,7 @@ func run(args []string) error {
 
 	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 
-	if !*onlyBlock {
+	if !*onlyBlock && !*onlyDelta {
 		fast, err := benchEvaluator(false)
 		if err != nil {
 			return err
@@ -284,41 +396,62 @@ func run(args []string) error {
 
 	c5, fs5 := benchInstance(5, 7)
 	var fullC5 Bench
-	if !*onlyBlock {
+	if !*onlyBlock && !*onlyDelta {
 		fullC5, err = benchLexSearch("LexSearchFullC5", c5, fs5, searchOpts(true, 0))
 		if err != nil {
 			return err
 		}
 		rep.Benches = append(rep.Benches, fullC5)
 	}
-	canonC5, err := benchLexSearch("LexSearchCanonicalC5", c5, fs5, searchOpts(false, 0))
-	if err != nil {
-		return err
-	}
-	blockC5, err := benchLexSearch("LexSearchBlockC5", c5, fs5, blockOpts(0))
-	if err != nil {
-		return err
-	}
-	rep.Benches = append(rep.Benches, canonC5, blockC5)
-	if !*onlyBlock {
-		prunedC5, err := benchLexSearch("LexSearchPrunedC5", c5, fs5, prunedOpts())
+	if !*onlyDelta {
+		canonC5, err := benchLexSearch("LexSearchCanonicalC5", c5, fs5, searchOpts(false, 0))
 		if err != nil {
 			return err
 		}
-		rep.Benches = append(rep.Benches, prunedC5)
-		if canonC5.States > 0 {
-			rep.StateReductionC5 = float64(fullC5.States) / float64(canonC5.States)
+		blockC5, err := benchLexSearch("LexSearchBlockC5", c5, fs5, blockOpts(0))
+		if err != nil {
+			return err
 		}
-		if prunedC5.States > 0 {
-			rep.PruneReductionC5 = float64(canonC5.States) / float64(prunedC5.States)
+		rep.Benches = append(rep.Benches, canonC5, blockC5)
+		if !*onlyBlock {
+			prunedC5, err := benchLexSearch("LexSearchPrunedC5", c5, fs5, prunedOpts())
+			if err != nil {
+				return err
+			}
+			rep.Benches = append(rep.Benches, prunedC5)
+			if canonC5.States > 0 {
+				rep.StateReductionC5 = float64(fullC5.States) / float64(canonC5.States)
+			}
+			if prunedC5.States > 0 {
+				rep.PruneReductionC5 = float64(canonC5.States) / float64(prunedC5.States)
+			}
+		}
+		if blockC5.NsPerOp > 0 {
+			rep.BlockSpeedupC5 = float64(canonC5.NsPerOp) / float64(blockC5.NsPerOp)
+		}
+		if *minBlockSpeedup > 0 && rep.BlockSpeedupC5 < *minBlockSpeedup {
+			return fmt.Errorf("block_speedup_c5 = %.2f is below the -min-block-speedup bar %.2f",
+				rep.BlockSpeedupC5, *minBlockSpeedup)
 		}
 	}
-	if blockC5.NsPerOp > 0 {
-		rep.BlockSpeedupC5 = float64(canonC5.NsPerOp) / float64(blockC5.NsPerOp)
-	}
-	if *minBlockSpeedup > 0 && rep.BlockSpeedupC5 < *minBlockSpeedup {
-		return fmt.Errorf("block_speedup_c5 = %.2f is below the -min-block-speedup bar %.2f",
-			rep.BlockSpeedupC5, *minBlockSpeedup)
+	if !*onlyBlock {
+		trace := deltaTrace(c5, 64)
+		incC5, err := benchDeltaIncremental(c5, trace)
+		if err != nil {
+			return err
+		}
+		fullDeltaC5, err := benchDeltaFull(c5, trace)
+		if err != nil {
+			return err
+		}
+		rep.Benches = append(rep.Benches, incC5, fullDeltaC5)
+		if incC5.NsPerOp > 0 {
+			rep.DeltaSpeedup = float64(fullDeltaC5.NsPerOp) / float64(incC5.NsPerOp)
+		}
+		if *minDeltaSpeedup > 0 && rep.DeltaSpeedup < *minDeltaSpeedup {
+			return fmt.Errorf("delta_speedup = %.2f is below the -min-delta-speedup bar %.2f",
+				rep.DeltaSpeedup, *minDeltaSpeedup)
+		}
 	}
 
 	if reg := o.Registry(); reg != nil {

@@ -14,7 +14,9 @@
 // throughput|relative, POST /v1/doom (all take a codec.Scenario JSON
 // body), POST /v1/batch (a {"op": ..., "items": [{"scenario": ...},
 // ...]} envelope answered with the concatenated single-call bodies in
-// request order), GET /healthz, GET /readyz, GET /v1/stats.
+// request order), POST /v1/session (+ /v1/session/{id}/delta and
+// /v1/session/{id}/close — stateful incremental evaluation), GET
+// /healthz, GET /readyz, GET /v1/stats.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight requests
 // finish, new ones get fast 503s, then the listener closes.
@@ -69,6 +71,8 @@ func serve(ctx context.Context, args []string, stderr io.Writer) error {
 		timeout       = fl.Duration("timeout", server.DefaultTimeout, "per-request compute deadline (0 = none)")
 		searchWorkers = fl.Int("search-workers", 1, "enumeration workers per /v1/search request")
 		maxStates     = fl.Int("max-states", 0, "per-search state cap (0 = engine default)")
+		maxSessions   = fl.Int("max-sessions", 0, "max concurrently open /v1/session sessions (0 = engine default)")
+		sessionTTL    = fl.Duration("session-ttl", 0, "idle session lifetime before eviction (0 = engine default)")
 		drainTimeout  = fl.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 		ob            = obs.AddFlags(fl)
 	)
@@ -92,6 +96,8 @@ func serve(ctx context.Context, args []string, stderr io.Writer) error {
 		Timeout:       noneIfZeroDuration(*timeout),
 		SearchWorkers: *searchWorkers,
 		MaxStates:     *maxStates,
+		MaxSessions:   *maxSessions,
+		SessionTTL:    *sessionTTL,
 		Obs:           orun.Obs,
 	})
 	if err != nil {

@@ -31,7 +31,8 @@ import (
 // of the instance as stated, and evaluation results are reported in
 // canonical flow order.
 func Canonical(s *Scenario) (*Scenario, error) {
-	if err := s.validate(); err != nil {
+	perm, demands, err := canonicalPerm(s)
+	if err != nil {
 		return nil, err
 	}
 	c := &Scenario{
@@ -45,19 +46,55 @@ func Canonical(s *Scenario) (*Scenario, error) {
 	if c.Topology == "clos" {
 		c.Topology = ""
 	}
-	demands := make([]string, len(s.Demands))
+	c.Flows = make([]FlowJSON, len(s.Flows))
+	for i, fi := range perm {
+		c.Flows[i] = s.Flows[fi]
+	}
+	if s.Demands != nil {
+		c.Demands = make([]string, len(demands))
+		for i, fi := range perm {
+			c.Demands[i] = demands[fi]
+		}
+	}
+	if s.Assignment != nil {
+		c.Assignment = make([]int, len(s.Assignment))
+		for i, fi := range perm {
+			c.Assignment[i] = s.Assignment[fi]
+		}
+	}
+	return c, nil
+}
+
+// CanonicalPerm returns the permutation Canonical applies to the flow
+// list: perm[i] is the index in s.Flows of the i-th canonical flow.
+// Callers that track per-flow state keyed by original position (the
+// session layer of internal/engine) use it to report rates in the same
+// canonical order the scenario's content address commits to.
+func CanonicalPerm(s *Scenario) ([]int, error) {
+	perm, _, err := canonicalPerm(s)
+	return perm, err
+}
+
+// canonicalPerm validates s and computes the canonical flow permutation
+// together with the normalized demand strings (RatString form), which
+// both Canonical and CanonicalPerm need.
+func canonicalPerm(s *Scenario) (perm []int, demands []string, err error) {
+	if err := s.validate(); err != nil {
+		return nil, nil, err
+	}
+	demands = make([]string, len(s.Demands))
 	for fi, str := range s.Demands {
 		r, ok := new(big.Rat).SetString(str)
 		if !ok {
-			return nil, fmt.Errorf("codec: flow %d demand %q is not a rational", fi, str)
+			return nil, nil, fmt.Errorf("codec: flow %d demand %q is not a rational", fi, str)
 		}
 		if r.Sign() < 0 {
-			return nil, fmt.Errorf("codec: flow %d demand %q is negative", fi, str)
+			return nil, nil, fmt.Errorf("codec: flow %d demand %q is negative", fi, str)
 		}
 		demands[fi] = r.RatString()
 	}
 
-	perm := make([]int, len(s.Flows))
+	perm = make([]int, len(s.Flows))
 	for i := range perm {
 		perm[i] = i
 	}
@@ -86,24 +123,7 @@ func Canonical(s *Scenario) (*Scenario, error) {
 		return false
 	}
 	sort.SliceStable(perm, func(i, j int) bool { return flowLess(perm[i], perm[j]) })
-
-	c.Flows = make([]FlowJSON, len(s.Flows))
-	for i, fi := range perm {
-		c.Flows[i] = s.Flows[fi]
-	}
-	if s.Demands != nil {
-		c.Demands = make([]string, len(demands))
-		for i, fi := range perm {
-			c.Demands[i] = demands[fi]
-		}
-	}
-	if s.Assignment != nil {
-		c.Assignment = make([]int, len(s.Assignment))
-		for i, fi := range perm {
-			c.Assignment[i] = s.Assignment[fi]
-		}
-	}
-	return c, nil
+	return perm, demands, nil
 }
 
 // Hash returns the SHA-256 content address of the scenario: the hash

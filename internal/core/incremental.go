@@ -1,0 +1,770 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"closnet/internal/obs"
+	"closnet/internal/rational"
+	"closnet/internal/topology"
+)
+
+// FlowID is a stable handle on a flow held by an IncrementalEvaluator.
+// Handles survive arrivals and departures of other flows; a departed
+// flow's handle may be reused by a later arrival.
+type FlowID int
+
+// IncrementalEvaluator maintains the max-min fair allocation of a
+// mutating flow set over one fixed fabric: flows arrive, depart and
+// reroute one at a time, and after every mutation the allocation equals
+// what a fresh Evaluator.Eval of the current (Collection,
+// MiddleAssignment) would return — exactly, as rationals.
+//
+// Where the Evaluator recomputes every water-filling round from
+// scratch, the IncrementalEvaluator keeps the full trace of the last
+// fill: one snapshot of the Rat64 scratch (residual capacities and
+// active counts per finite link) at the start of every round, plus each
+// round's outcome (bottleneck link, min delta, saturated link set,
+// frozen flows). A single-flow delta perturbs only the finite links of
+// the changed path(s) — the affected set A — so a prefix of the old
+// rounds replays unchanged. Round r is reusable iff
+//
+//   - the old bottleneck is not in A,
+//   - no old saturated link is in A (a departure of a flow frozen via
+//     an A-link lands here), and
+//   - every A-link's fresh delta remaining/active is STRICTLY above the
+//     old round's min delta (ties must diverge: an A-link would enter
+//     the saturated set).
+//
+// Replaying a clean round costs O(|A|): drain the A-links, reapply the
+// recorded freezes (their shared *big.Rat level is cached on the
+// round), and patch the snapshot's A-entries. At the first dirty round
+// the filling resumes the ordinary Rat64 loop from that round's
+// snapshot, recording a fresh trace suffix. The reused rounds are
+// counted on core.delta_levels_skipped; every mutation-triggered fill
+// counts on core.delta_fills.
+//
+// Promotion poisoning: any Rat64 overflow — during replay or resume —
+// abandons the fast trace, re-runs the whole fill losslessly on
+// *big.Rat (counted on core.delta_promotions), and invalidates the
+// trace; the next mutation then runs one full fast fill to rebuild it.
+// ForceBig pins the big.Rat path, which doubles as the differential-
+// test oracle. An IncrementalEvaluator is NOT safe for concurrent use.
+type IncrementalEvaluator struct {
+	fab topology.Fabric
+	n   int // path choices
+
+	// Finite-link index: the water filling only ever touches finite
+	// links, so all per-link scratch is dense over finiteIdx
+	// 0..nFin-1, ordered by ascending LinkID (the scan order every
+	// evaluator in this package shares).
+	nFin     int
+	finLinks []topology.LinkID // finiteIdx -> LinkID
+	fidx     []int             // LinkID -> finiteIdx, -1 when unbounded
+	caps64   []rational.Rat64
+	capsBig  []*big.Rat
+	fast     bool
+	forceBig bool
+
+	// Flow table: slot-allocated, so FlowID handles stay stable across
+	// departures. order lists the live handles in insertion order — the
+	// order Flows() and Rates() report.
+	flows []iflow
+	free  []FlowID
+	order []FlowID
+	nLive int
+
+	// on[l] lists the live flows crossing finite link l, the freeze-scan
+	// source. active counts are derived as len(on[l]) at fill start.
+	on [][]FlowID
+
+	// Trace of the last successful fast fill: snaps[r] is the scratch
+	// state at the start of round r (len(snaps) == len(rounds)+1; the
+	// last snapshot is the terminal state), rounds[r] its outcome.
+	snaps      []incSnap
+	rounds     []incRound
+	traceValid bool
+
+	// Scratch reused across fills.
+	rem    []rational.Rat64
+	act    []int
+	frozen []bool // by FlowID
+	affIdx []int  // finiteIdx -> position in the current affected set, -1
+	affRem []rational.Rat64
+	affAct []int
+
+	// big.Rat scratch for the promotion path.
+	remB                   []*big.Rat
+	actRat, delta, tmp     *big.Rat
+	xInt, yInt, aInt, bInt *big.Int
+
+	promotions int
+
+	// testOverflow, when non-nil, forces the fast path to report an
+	// Rat64 overflow at the given round index — the hook the promotion
+	// tests use to trigger mid-sequence big.Rat fallbacks on instances
+	// that cannot overflow naturally.
+	testOverflow func(round int) bool
+
+	cFills      *obs.Counter
+	cSkipped    *obs.Counter
+	cPromotions *obs.Counter
+	jour        *obs.Journal
+}
+
+// iflow is one flow slot.
+type iflow struct {
+	flow   Flow
+	middle int
+	finite []int // finiteIdx list of the current path's finite links
+	live   bool
+	rate   *big.Rat
+}
+
+// incSnap is the scratch state at the start of one water-filling round.
+type incSnap struct {
+	level rational.Rat64
+	rem   []rational.Rat64
+	act   []int
+}
+
+// incRound is the recorded outcome of one round: the bottleneck, its
+// delta, the freeze level (shared by every flow frozen this round), the
+// saturated links the freeze scan processed, and the flows it froze.
+type incRound struct {
+	minIdx   int
+	minDelta rational.Rat64
+	levelRat *big.Rat
+	sat      []int
+	frozen   []FlowID
+}
+
+// NewIncrementalEvaluator prepares incremental max-min fair evaluation
+// over fab, starting from the empty flow set.
+func NewIncrementalEvaluator(fab topology.Fabric) *IncrementalEvaluator {
+	ie := &IncrementalEvaluator{fab: fab, n: fab.Size(), fast: true}
+	links := fab.Network().Links()
+	ie.fidx = make([]int, len(links))
+	for i := range ie.fidx {
+		ie.fidx[i] = -1
+	}
+	var ids []topology.LinkID
+	for _, l := range links {
+		if !l.Unbounded {
+			ids = append(ids, l.ID)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	ie.nFin = len(ids)
+	ie.finLinks = ids
+	ie.caps64 = make([]rational.Rat64, ie.nFin)
+	ie.capsBig = make([]*big.Rat, ie.nFin)
+	for j, id := range ids {
+		ie.fidx[id] = j
+		l := links[id]
+		ie.capsBig[j] = l.Capacity
+		if c64, ok := l.Capacity64(); ok {
+			ie.caps64[j] = c64
+		} else {
+			ie.fast = false
+		}
+	}
+	ie.on = make([][]FlowID, ie.nFin)
+	ie.rem = make([]rational.Rat64, ie.nFin)
+	ie.act = make([]int, ie.nFin)
+	ie.affIdx = make([]int, ie.nFin)
+	for j := range ie.affIdx {
+		ie.affIdx[j] = -1
+	}
+	ie.remB = make([]*big.Rat, ie.nFin)
+	for j := range ie.remB {
+		ie.remB[j] = new(big.Rat)
+	}
+	ie.actRat, ie.delta, ie.tmp = new(big.Rat), new(big.Rat), new(big.Rat)
+	ie.xInt, ie.yInt = new(big.Int), new(big.Int)
+	ie.aInt, ie.bInt = new(big.Int), new(big.Int)
+	return ie
+}
+
+// Instrument attaches the observability layer: delta-triggered fills,
+// reused (skipped) rounds and big.Rat promotions land in o's registry,
+// and each promotion journals a core.delta_promotion event. A nil o
+// leaves the evaluator uninstrumented.
+func (ie *IncrementalEvaluator) Instrument(o *obs.Obs) {
+	reg := o.Registry()
+	ie.cFills = reg.Counter("core.delta_fills")
+	ie.cSkipped = reg.Counter("core.delta_levels_skipped")
+	ie.cPromotions = reg.Counter("core.delta_promotions")
+	ie.jour = o.Journal()
+}
+
+// ForceBig pins every fill to the *big.Rat path when on is true. The
+// allocations are identical; it exists for differential tests and for
+// benchmarking the incremental fast path against its fallback.
+func (ie *IncrementalEvaluator) ForceBig(on bool) { ie.forceBig = on }
+
+// Promotions returns the number of fills so far that overflowed the
+// Rat64 kernel and were re-run losslessly on *big.Rat.
+func (ie *IncrementalEvaluator) Promotions() int { return ie.promotions }
+
+// Len returns the number of live flows.
+func (ie *IncrementalEvaluator) Len() int { return ie.nLive }
+
+// Arrive admits a flow on the path selected by middle and refills. On
+// success the returned handle addresses the flow in Depart/Reroute/
+// Rate; on error the evaluator state is unchanged.
+func (ie *IncrementalEvaluator) Arrive(f Flow, middle int) (FlowID, error) {
+	if middle < 1 || middle > ie.n {
+		return -1, fmt.Errorf("incremental: middle %d out of range [1, %d]", middle, ie.n)
+	}
+	path, err := ie.fab.Path(f.Src, f.Dst, middle)
+	if err != nil {
+		return -1, fmt.Errorf("incremental: %w", err)
+	}
+	finite := make([]int, 0, len(path))
+	for _, l := range path {
+		if j := ie.fidx[l]; j >= 0 {
+			finite = append(finite, j)
+		}
+	}
+
+	var h FlowID
+	if n := len(ie.free); n > 0 {
+		h = ie.free[n-1]
+		ie.free = ie.free[:n-1]
+	} else {
+		h = FlowID(len(ie.flows))
+		ie.flows = append(ie.flows, iflow{})
+		ie.frozen = append(ie.frozen, false)
+	}
+	ie.flows[h] = iflow{flow: f, middle: middle, finite: finite, live: true}
+	ie.order = append(ie.order, h)
+	ie.nLive++
+	for _, j := range finite {
+		ie.on[j] = append(ie.on[j], h)
+	}
+
+	if err := ie.refill(finite); err != nil {
+		// Roll the admission back (the handle was never returned, so no
+		// caller holds it) and restore the previous allocation with a
+		// full fill — the prior state filled successfully, so this
+		// cannot fail the same way.
+		for _, j := range finite {
+			ie.on[j] = removeHandle(ie.on[j], h)
+		}
+		ie.order = ie.order[:len(ie.order)-1]
+		ie.flows[h].live = false
+		ie.free = append(ie.free, h)
+		ie.nLive--
+		ie.refill(finite)
+		return -1, err
+	}
+	return h, nil
+}
+
+// Depart removes a live flow and refills.
+func (ie *IncrementalEvaluator) Depart(id FlowID) error {
+	if err := ie.checkLive(id); err != nil {
+		return err
+	}
+	fl := &ie.flows[id]
+	for _, j := range fl.finite {
+		ie.on[j] = removeHandle(ie.on[j], id)
+	}
+	for i, h := range ie.order {
+		if h == id {
+			ie.order = append(ie.order[:i], ie.order[i+1:]...)
+			break
+		}
+	}
+	fl.live = false
+	ie.free = append(ie.free, id)
+	ie.nLive--
+	return ie.refill(fl.finite)
+}
+
+// Reroute moves a live flow onto the path selected by middle and
+// refills. The affected set is the union of the old and new paths'
+// finite links.
+func (ie *IncrementalEvaluator) Reroute(id FlowID, middle int) error {
+	if err := ie.checkLive(id); err != nil {
+		return err
+	}
+	if middle < 1 || middle > ie.n {
+		return fmt.Errorf("incremental: middle %d out of range [1, %d]", middle, ie.n)
+	}
+	fl := &ie.flows[id]
+	path, err := ie.fab.Path(fl.flow.Src, fl.flow.Dst, middle)
+	if err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+	newFinite := make([]int, 0, len(path))
+	for _, l := range path {
+		if j := ie.fidx[l]; j >= 0 {
+			newFinite = append(newFinite, j)
+		}
+	}
+	aff := make([]int, 0, len(fl.finite)+len(newFinite))
+	for _, j := range fl.finite {
+		ie.on[j] = removeHandle(ie.on[j], id)
+		aff = append(aff, j)
+	}
+	for _, j := range newFinite {
+		ie.on[j] = append(ie.on[j], id)
+		if ie.affIdx[j] < 0 {
+			ie.affIdx[j] = 0 // mark for dedup; refill re-marks with real positions
+			aff = append(aff, j)
+		}
+	}
+	// A link on both paths was marked only once above; links only on the
+	// old path were never marked. Normalize: clear every mark so refill
+	// starts from a clean affIdx, then dedup the old-path entries that
+	// also appear in newFinite.
+	for _, j := range newFinite {
+		ie.affIdx[j] = -1
+	}
+	aff = dedupAff(aff, ie.affIdx)
+	fl.middle, fl.finite = middle, newFinite
+	return ie.refill(aff)
+}
+
+// dedupAff removes duplicate finite-link indices from aff using mark as
+// scratch (entries must be -1 on entry; they are -1 again on return).
+func dedupAff(aff []int, mark []int) []int {
+	out := aff[:0]
+	for _, j := range aff {
+		if mark[j] < 0 {
+			mark[j] = 0
+			out = append(out, j)
+		}
+	}
+	for _, j := range out {
+		mark[j] = -1
+	}
+	return out
+}
+
+func (ie *IncrementalEvaluator) checkLive(id FlowID) error {
+	if id < 0 || int(id) >= len(ie.flows) || !ie.flows[id].live {
+		return fmt.Errorf("incremental: no live flow with handle %d", id)
+	}
+	return nil
+}
+
+// Rate returns the current rate of a live flow. The returned value is
+// shared and must not be mutated.
+func (ie *IncrementalEvaluator) Rate(id FlowID) (*big.Rat, error) {
+	if err := ie.checkLive(id); err != nil {
+		return nil, err
+	}
+	return ie.flows[id].rate, nil
+}
+
+// Rates returns the current allocation in insertion order (the order
+// Flows reports). The vector is freshly allocated; its elements are
+// shared and must not be mutated.
+func (ie *IncrementalEvaluator) Rates() rational.Vec {
+	v := make(rational.Vec, 0, ie.nLive)
+	for _, h := range ie.order {
+		v = append(v, ie.flows[h].rate)
+	}
+	return v
+}
+
+// Flows returns the live flow set in insertion order: the collection,
+// the middle assignment, and the handle of each entry. A fresh
+// Evaluator over exactly this (Collection, MiddleAssignment) is the
+// full-recompute oracle of the incremental path.
+func (ie *IncrementalEvaluator) Flows() (Collection, MiddleAssignment, []FlowID) {
+	fs := make(Collection, 0, ie.nLive)
+	ma := make(MiddleAssignment, 0, ie.nLive)
+	ids := make([]FlowID, 0, ie.nLive)
+	for _, h := range ie.order {
+		fs = append(fs, ie.flows[h].flow)
+		ma = append(ma, ie.flows[h].middle)
+		ids = append(ids, h)
+	}
+	return fs, ma, ids
+}
+
+// refill recomputes the allocation after a mutation whose affected
+// finite-link set is aff. On any error the trace is invalid and the
+// next refill runs a full fill.
+func (ie *IncrementalEvaluator) refill(aff []int) error {
+	ie.cFills.Inc()
+	if !ie.fast || ie.forceBig {
+		return ie.fillBig()
+	}
+	if !ie.traceValid || len(aff) == 0 {
+		return ie.fullFill64()
+	}
+	ie.traceValid = false
+
+	for _, h := range ie.order {
+		ie.frozen[h] = false
+	}
+	if n := len(aff); cap(ie.affRem) < n {
+		ie.affRem = make([]rational.Rat64, n)
+		ie.affAct = make([]int, n)
+	}
+	ie.affRem, ie.affAct = ie.affRem[:len(aff)], ie.affAct[:len(aff)]
+	for j, l := range aff {
+		ie.affIdx[l] = j
+		ie.affRem[j] = ie.caps64[l]
+		ie.affAct[j] = len(ie.on[l])
+	}
+
+	r, frozenCount, overflow := 0, 0, false
+	for r < len(ie.rounds) {
+		ie.patchSnap(r, aff)
+		clean, over := ie.replayRound(r, aff)
+		if over {
+			overflow = true
+			break
+		}
+		if !clean {
+			break
+		}
+		frozenCount += len(ie.rounds[r].frozen)
+		r++
+	}
+	if !overflow && r == len(ie.rounds) {
+		ie.patchSnap(r, aff) // terminal snapshot
+	}
+	for _, l := range aff {
+		ie.affIdx[l] = -1
+	}
+	ie.cSkipped.Add(int64(r))
+	if overflow {
+		return ie.promote()
+	}
+
+	ie.rounds = ie.rounds[:r]
+	ie.snaps = ie.snaps[:r+1]
+	ok, err := ie.fillFrom(ie.snaps[r].level, ie.nLive-frozenCount)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ie.promote()
+	}
+	ie.traceValid = true
+	return nil
+}
+
+// patchSnap overwrites the affected entries of snapshot r with the
+// incrementally maintained post-mutation values. Unaffected entries are
+// untouched — they are identical in the old and new runs for every
+// round the replay reaches.
+func (ie *IncrementalEvaluator) patchSnap(r int, aff []int) {
+	snap := &ie.snaps[r]
+	for j, l := range aff {
+		snap.rem[l] = ie.affRem[j]
+		snap.act[l] = ie.affAct[j]
+	}
+}
+
+// replayRound checks whether recorded round r is unaffected by the
+// mutation and, if so, replays it: drains the affected links and
+// reapplies the recorded freezes. overflow reports an Rat64 overflow
+// (the caller promotes); a false clean with no overflow means the
+// filling must resume from this round's snapshot.
+func (ie *IncrementalEvaluator) replayRound(r int, aff []int) (clean, overflow bool) {
+	rd := &ie.rounds[r]
+	if ie.affIdx[rd.minIdx] >= 0 {
+		return false, false
+	}
+	for _, l := range rd.sat {
+		if ie.affIdx[l] >= 0 {
+			return false, false
+		}
+	}
+	for _, h := range rd.frozen {
+		if !ie.flows[h].live {
+			return false, false
+		}
+	}
+	for j := range aff {
+		if ie.affAct[j] == 0 {
+			continue
+		}
+		d, ok := ie.affRem[j].DivInt(int64(ie.affAct[j]))
+		if !ok {
+			return false, true
+		}
+		// Equality must diverge: an affected link reaching the old min
+		// delta joins the saturated set and changes the freeze order.
+		if d.Cmp(rd.minDelta) <= 0 {
+			return false, false
+		}
+	}
+	if ie.testOverflow != nil && ie.testOverflow(r) {
+		return false, true
+	}
+	for j := range aff {
+		if ie.affAct[j] == 0 {
+			continue
+		}
+		used, ok := rd.minDelta.MulInt(int64(ie.affAct[j]))
+		if !ok {
+			return false, true
+		}
+		if ie.affRem[j], ok = ie.affRem[j].Sub(used); !ok {
+			return false, true
+		}
+	}
+	for _, h := range rd.frozen {
+		ie.frozen[h] = true
+		ie.flows[h].rate = rd.levelRat
+		for _, l := range ie.flows[h].finite {
+			if j := ie.affIdx[l]; j >= 0 {
+				ie.affAct[j]--
+			}
+		}
+	}
+	return true, false
+}
+
+// fullFill64 runs the fast filling from scratch and records a fresh
+// trace.
+func (ie *IncrementalEvaluator) fullFill64() error {
+	ie.traceValid = false
+	ie.rounds = ie.rounds[:0]
+	ie.snaps = ie.snaps[:0]
+	for l := 0; l < ie.nFin; l++ {
+		ie.rem[l] = ie.caps64[l]
+		ie.act[l] = len(ie.on[l])
+	}
+	for _, h := range ie.order {
+		ie.frozen[h] = false
+	}
+	ie.pushSnap(rational.Zero64())
+	ok, err := ie.fillFrom(rational.Zero64(), ie.nLive)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ie.promote()
+	}
+	ie.traceValid = true
+	return nil
+}
+
+// fillFrom continues the fast progressive filling from the last
+// snapshot (which must hold the current scratch state), appending one
+// round record and one snapshot per round until every live flow is
+// frozen. It mirrors Evaluator.eval64 exactly: same link scan order,
+// same strict-< tie rule, same freeze order, so the resulting rates are
+// identical rationals. ok is false when an Rat64 operation overflowed.
+func (ie *IncrementalEvaluator) fillFrom(level rational.Rat64, remaining int) (ok bool, err error) {
+	last := &ie.snaps[len(ie.snaps)-1]
+	copy(ie.rem, last.rem)
+	copy(ie.act, last.act)
+	for remaining > 0 {
+		if ie.testOverflow != nil && ie.testOverflow(len(ie.rounds)) {
+			return false, nil
+		}
+		minIdx := -1
+		var minDelta rational.Rat64
+		for l := 0; l < ie.nFin; l++ {
+			if ie.act[l] == 0 {
+				continue
+			}
+			d, ok := ie.rem[l].DivInt(int64(ie.act[l]))
+			if !ok {
+				return false, nil
+			}
+			if minIdx < 0 || d.Cmp(minDelta) < 0 {
+				minIdx, minDelta = l, d
+			}
+		}
+		if minIdx < 0 {
+			return true, ErrUnboundedFlow
+		}
+		var okOp bool
+		if level, okOp = level.Add(minDelta); !okOp {
+			return false, nil
+		}
+		for l := 0; l < ie.nFin; l++ {
+			if ie.act[l] == 0 {
+				continue
+			}
+			used, ok2 := minDelta.MulInt(int64(ie.act[l]))
+			if !ok2 {
+				return false, nil
+			}
+			if ie.rem[l], ok2 = ie.rem[l].Sub(used); !ok2 {
+				return false, nil
+			}
+		}
+		rd := ie.nextRound()
+		rd.minIdx, rd.minDelta = minIdx, minDelta
+		progressed := false
+		for l := 0; l < ie.nFin; l++ {
+			if ie.act[l] == 0 || !ie.rem[l].IsZero() {
+				continue
+			}
+			rd.sat = append(rd.sat, l)
+			for _, h := range ie.on[l] {
+				if ie.frozen[h] {
+					continue
+				}
+				ie.frozen[h] = true
+				if rd.levelRat == nil {
+					rd.levelRat = level.Rat()
+				}
+				ie.flows[h].rate = rd.levelRat
+				rd.frozen = append(rd.frozen, h)
+				remaining--
+				progressed = true
+				for _, fl := range ie.flows[h].finite {
+					ie.act[fl]--
+				}
+			}
+		}
+		if !progressed {
+			return true, errors.New("incremental: no progress (internal invariant violated)")
+		}
+		ie.pushSnap(level)
+	}
+	return true, nil
+}
+
+// nextRound extends ie.rounds by one entry, recycling the sat/frozen
+// backing arrays of a previously truncated record when the slice has
+// spare capacity — replays truncate and re-extend the trace on every
+// delta, so reallocating per round would dominate the fill cost.
+func (ie *IncrementalEvaluator) nextRound() *incRound {
+	if len(ie.rounds) < cap(ie.rounds) {
+		ie.rounds = ie.rounds[:len(ie.rounds)+1]
+		rd := &ie.rounds[len(ie.rounds)-1]
+		rd.sat = rd.sat[:0]
+		rd.frozen = rd.frozen[:0]
+		rd.levelRat = nil
+		return rd
+	}
+	ie.rounds = append(ie.rounds, incRound{})
+	return &ie.rounds[len(ie.rounds)-1]
+}
+
+// pushSnap appends a snapshot of the current scratch state, recycling a
+// truncated entry's rem/act arrays when possible (see nextRound).
+func (ie *IncrementalEvaluator) pushSnap(level rational.Rat64) {
+	if len(ie.snaps) < cap(ie.snaps) {
+		ie.snaps = ie.snaps[:len(ie.snaps)+1]
+		s := &ie.snaps[len(ie.snaps)-1]
+		if len(s.rem) != ie.nFin {
+			s.rem = make([]rational.Rat64, ie.nFin)
+			s.act = make([]int, ie.nFin)
+		}
+		s.level = level
+		copy(s.rem, ie.rem)
+		copy(s.act, ie.act)
+		return
+	}
+	s := incSnap{level: level, rem: make([]rational.Rat64, ie.nFin), act: make([]int, ie.nFin)}
+	copy(s.rem, ie.rem)
+	copy(s.act, ie.act)
+	ie.snaps = append(ie.snaps, s)
+}
+
+// promote re-runs the current fill losslessly on *big.Rat after an
+// Rat64 overflow. The trace is poisoned: the next mutation pays one
+// full fast fill to rebuild it.
+func (ie *IncrementalEvaluator) promote() error {
+	ie.promotions++
+	ie.cPromotions.Inc()
+	ie.jour.Emit("core.delta_promotion", obs.F{"promotions": ie.promotions})
+	return ie.fillBig()
+}
+
+// fillBig is the exact progressive filling on *big.Rat, mirroring
+// Evaluator.evalBig (same scan order, same cross-multiplied min-delta
+// comparison, same tie rule) over the live flow set. It records no
+// trace — the Rat64 trace cannot represent these values.
+func (ie *IncrementalEvaluator) fillBig() error {
+	ie.traceValid = false
+	ie.rounds = ie.rounds[:0]
+	ie.snaps = ie.snaps[:0]
+	for l := 0; l < ie.nFin; l++ {
+		ie.remB[l].Set(ie.capsBig[l])
+		ie.act[l] = len(ie.on[l])
+	}
+	for _, h := range ie.order {
+		ie.frozen[h] = false
+	}
+	remaining := ie.nLive
+	level := new(big.Rat)
+	for remaining > 0 {
+		minIdx := -1
+		for l := 0; l < ie.nFin; l++ {
+			if ie.act[l] == 0 {
+				continue
+			}
+			if minIdx < 0 {
+				minIdx = l
+				continue
+			}
+			ie.aInt.SetInt64(int64(ie.act[minIdx]))
+			ie.bInt.SetInt64(int64(ie.act[l]))
+			ie.xInt.Mul(ie.remB[l].Num(), ie.remB[minIdx].Denom())
+			ie.xInt.Mul(ie.xInt, ie.aInt)
+			ie.yInt.Mul(ie.remB[minIdx].Num(), ie.remB[l].Denom())
+			ie.yInt.Mul(ie.yInt, ie.bInt)
+			if ie.xInt.Cmp(ie.yInt) < 0 {
+				minIdx = l
+			}
+		}
+		if minIdx < 0 {
+			return ErrUnboundedFlow
+		}
+		ie.actRat.SetInt64(int64(ie.act[minIdx]))
+		ie.delta.Quo(ie.remB[minIdx], ie.actRat)
+		level.Add(level, ie.delta)
+		for l := 0; l < ie.nFin; l++ {
+			if ie.act[l] == 0 {
+				continue
+			}
+			ie.actRat.SetInt64(int64(ie.act[l]))
+			ie.tmp.Mul(ie.delta, ie.actRat)
+			ie.remB[l].Sub(ie.remB[l], ie.tmp)
+		}
+		var levelRat *big.Rat
+		progressed := false
+		for l := 0; l < ie.nFin; l++ {
+			if ie.act[l] == 0 || ie.remB[l].Sign() != 0 {
+				continue
+			}
+			for _, h := range ie.on[l] {
+				if ie.frozen[h] {
+					continue
+				}
+				ie.frozen[h] = true
+				if levelRat == nil {
+					levelRat = rational.Copy(level)
+				}
+				ie.flows[h].rate = levelRat
+				remaining--
+				progressed = true
+				for _, fl := range ie.flows[h].finite {
+					ie.act[fl]--
+				}
+			}
+		}
+		if !progressed {
+			return errors.New("incremental: no progress (internal invariant violated)")
+		}
+	}
+	return nil
+}
+
+func removeHandle(on []FlowID, h FlowID) []FlowID {
+	for i, x := range on {
+		if x == h {
+			return append(on[:i], on[i+1:]...)
+		}
+	}
+	return on
+}

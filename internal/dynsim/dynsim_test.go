@@ -180,13 +180,43 @@ func TestSchedulerBeatsFairSharingUnderOverload(t *testing.T) {
 }
 
 func TestResultPercentiles(t *testing.T) {
+	// Interpolated quantiles: p99 of {1..5} sits between the 4th and 5th
+	// order statistics at 4 + 0.96·1.
 	r := &Result{Slowdowns: []float64{5, 1, 3, 2, 4}}
-	if got := r.P99Slowdown(); got != 5 {
-		t.Errorf("P99 = %v, want 5", got)
+	if got := r.P99Slowdown(); math.Abs(got-4.96) > 1e-12 {
+		t.Errorf("P99 = %v, want 4.96", got)
 	}
 	empty := &Result{}
 	if empty.MeanFCT() != 0 || empty.P99Slowdown() != 0 || empty.MeanSlowdown() != 0 {
 		t.Error("empty result metrics should be zero")
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	xs := []float64{7, 3, 5, 1}
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"p=1.0 is the max", xs, 1.0, 7},
+		{"p=0 is the min", xs, 0, 1},
+		{"p=0.5 interpolates", xs, 0.5, 4}, // (3+5)/2
+		{"n=1 any p", []float64{2.5}, 0.99, 2.5},
+		{"n=1 p=1.0", []float64{2.5}, 1.0, 2.5},
+		{"n=1 p=0", []float64{2.5}, 0, 2.5},
+		{"empty", nil, 0.5, 0},
+		{"p=2/3 of {1,2,3,4}", []float64{4, 3, 2, 1}, 2.0 / 3.0, 3},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.xs, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: percentile(%v, %v) = %v, want %v", tc.name, tc.xs, tc.p, got, tc.want)
+		}
+	}
+	// The input must not be mutated (percentile sorts a copy).
+	if xs[0] != 7 || xs[3] != 1 {
+		t.Errorf("percentile mutated its input: %v", xs)
 	}
 }
 

@@ -1,0 +1,146 @@
+package dynsim
+
+import (
+	"testing"
+
+	"closnet/internal/obs"
+	"closnet/internal/topology"
+)
+
+func failureConfig() Config {
+	cfg := baseConfig()
+	cfg.Clos = topology.MustClos(3)
+	cfg.Router = NewFastRerouteRouter()
+	cfg.ArrivalRate = 8
+	cfg.NumFlows = 300
+	cfg.Seed = 21
+	// Half the fabric links of middle 1 and one link of middle 2 die
+	// early, while plenty of flows are in flight.
+	cfg.Failures = []LinkFailure{
+		{Time: 2.0, In: true, ToR: 1, Middle: 1},
+		{Time: 2.0, In: false, ToR: 2, Middle: 1},
+		{Time: 4.0, In: true, ToR: 3, Middle: 2},
+	}
+	return cfg
+}
+
+// TestRouterDeterminism: same seed + config ⇒ identical Result for every
+// router, including under link failures and reroute deltas.
+func TestRouterDeterminism(t *testing.T) {
+	for _, router := range []Router{NewECMPRouter(), NewPowerOfTwoRouter(), NewFastRerouteRouter()} {
+		t.Run(router.Name(), func(t *testing.T) {
+			run := func() *Result {
+				cfg := failureConfig()
+				cfg.Router = router
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if a.Duration != b.Duration {
+				t.Fatalf("Duration %v vs %v with same seed", a.Duration, b.Duration)
+			}
+			if a.Reroutes != b.Reroutes || a.LinkFailures != b.LinkFailures {
+				t.Fatalf("Reroutes/LinkFailures %d/%d vs %d/%d with same seed",
+					a.Reroutes, a.LinkFailures, b.Reroutes, b.LinkFailures)
+			}
+			for i := range a.FCTs {
+				if a.FCTs[i] != b.FCTs[i] || a.Slowdowns[i] != b.Slowdowns[i] {
+					t.Fatalf("flow %d: FCT %v vs %v, slowdown %v vs %v with same seed",
+						i, a.FCTs[i], b.FCTs[i], a.Slowdowns[i], b.Slowdowns[i])
+				}
+			}
+		})
+	}
+}
+
+// TestLinkFailuresDisplaceFlows: failures fire, displace active flows
+// onto surviving middles, and the run still completes every flow with
+// sane metrics and matching obs counters.
+func TestLinkFailuresDisplaceFlows(t *testing.T) {
+	cfg := failureConfig()
+	o := &obs.Obs{Reg: obs.NewRegistry()}
+	cfg.Obs = o
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LinkFailures != 3 {
+		t.Fatalf("LinkFailures = %d, want 3", res.LinkFailures)
+	}
+	if res.Reroutes == 0 {
+		t.Fatal("no flows were displaced by three mid-run link failures")
+	}
+	for i, s := range res.Slowdowns {
+		if s < 1-1e-6 {
+			t.Fatalf("flow %d: slowdown %v below 1 after reroutes", i, s)
+		}
+	}
+	snap := o.Reg.Snapshot()
+	if got := snap.Counters["dynsim.link_failures"]; got != 3 {
+		t.Fatalf("dynsim.link_failures = %d, want 3", got)
+	}
+	if got := snap.Counters["dynsim.reroutes"]; got != int64(res.Reroutes) {
+		t.Fatalf("dynsim.reroutes = %d, Result says %d", got, res.Reroutes)
+	}
+	// The dynsim deltas flow through the incremental evaluator.
+	if got := snap.Counters["core.delta_fills"]; got <= 0 {
+		t.Fatal("no incremental delta fills recorded under FairSharing")
+	}
+	if got := snap.Counters["core.delta_levels_skipped"]; got <= 0 {
+		t.Fatal("incremental evaluator never reused a recorded round")
+	}
+}
+
+// TestFailureValidation rejects out-of-range failure specs.
+func TestFailureValidation(t *testing.T) {
+	for _, bad := range []LinkFailure{
+		{Time: -1, In: true, ToR: 1, Middle: 1},
+		{Time: 1, In: true, ToR: 0, Middle: 1},
+		{Time: 1, In: true, ToR: 99, Middle: 1},
+		{Time: 1, In: false, ToR: 1, Middle: 0},
+		{Time: 1, In: false, ToR: 1, Middle: 99},
+	} {
+		cfg := baseConfig()
+		cfg.Failures = []LinkFailure{bad}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("failure %+v accepted", bad)
+		}
+	}
+}
+
+// TestFastRerouteAvoidsDeadPaths: when every middle but one is dead for
+// a ToR pair, the fast-reroute router must place the pair's flows on the
+// survivor.
+func TestFastRerouteAvoidsDeadPaths(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Clos = topology.MustClos(3)
+	cfg.Router = NewFastRerouteRouter()
+	cfg.NumFlows = 120
+	cfg.Seed = 4
+	// Kill middles 1 and 2 entirely on the input side before any
+	// arrival: every placement must land on middle 3.
+	var fails []LinkFailure
+	for tor := 1; tor <= cfg.Clos.NumToRs(); tor++ {
+		fails = append(fails,
+			LinkFailure{Time: 0, In: true, ToR: tor, Middle: 1},
+			LinkFailure{Time: 0, In: true, ToR: tor, Middle: 2})
+	}
+	cfg.Failures = fails
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LinkFailures != len(fails) {
+		t.Fatalf("LinkFailures = %d, want %d", res.LinkFailures, len(fails))
+	}
+	// With only one middle alive, every flow contends there; the run
+	// still finishes and nothing starves forever.
+	for i, fct := range res.FCTs {
+		if fct <= 0 {
+			t.Fatalf("flow %d: FCT %v with a single surviving middle", i, fct)
+		}
+	}
+}

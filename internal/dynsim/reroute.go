@@ -1,0 +1,55 @@
+package dynsim
+
+import (
+	"fmt"
+
+	"closnet/internal/core"
+)
+
+// fastRerouteRouter is the randomized local fast-rerouting policy: both
+// at placement and when a failure displaces a flow, it picks uniformly
+// at random among the middles whose full path is still alive. The
+// decision is purely local (it consults only the failure state of the
+// flow's own two fabric links, never global load), O(n) per flow, and
+// randomized so concurrent displacements spread instead of herding onto
+// one surviving middle — the scheme of the randomized local fast
+// rerouting line of work, adapted to the two-hop Clos path structure.
+type fastRerouteRouter struct{}
+
+// NewFastRerouteRouter returns the link-failure-aware randomized local
+// fast-rerouting policy.
+func NewFastRerouteRouter() Router { return fastRerouteRouter{} }
+
+// Name implements Router.
+func (fastRerouteRouter) Name() string { return "fast-reroute" }
+
+// Place implements Router: a uniformly random middle among those with
+// both path links alive, falling back to plain ECMP when every path is
+// dead (the flow then starves on a failed path until a reroute frees
+// it, which is the honest outcome of total partition).
+func (fastRerouteRouter) Place(s *State, f core.Flow) (int, error) {
+	i, ok := s.Clos().InputOf(f.Src)
+	if !ok {
+		return 0, fmt.Errorf("dynsim: flow source is not a server")
+	}
+	o, ok := s.Clos().OutputOf(f.Dst)
+	if !ok {
+		return 0, fmt.Errorf("dynsim: flow destination is not a server")
+	}
+	alive := make([]int, 0, s.Clos().Size())
+	for m := 1; m <= s.Clos().Size(); m++ {
+		if s.PathAlive(i, m, o) {
+			alive = append(alive, m)
+		}
+	}
+	if len(alive) == 0 {
+		return s.RNG().Intn(s.Clos().Size()) + 1, nil
+	}
+	return alive[s.RNG().Intn(len(alive))], nil
+}
+
+// Reroute implements Rerouter: a uniformly random alive middle other
+// than the failed one, keeping the old middle when nothing survives.
+func (fastRerouteRouter) Reroute(s *State, f core.Flow, old int) (int, error) {
+	return defaultReroute(s, f, old)
+}

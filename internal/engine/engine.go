@@ -62,6 +62,11 @@ type Options struct {
 	// compute latency timer, and one engine.compute journal event per
 	// computation. nil disables instrumentation.
 	Obs *obs.Obs
+	// MaxSessions bounds the session table (0 = DefaultMaxSessions).
+	MaxSessions int
+	// SessionTTL is the idle lifetime of a session before lazy eviction
+	// (0 = DefaultSessionTTL).
+	SessionTTL time.Duration
 }
 
 // Request names one compute operation over one scenario, the transport-
@@ -103,6 +108,9 @@ type Engine struct {
 	// codec.TopologyHash — batch items sweeping assignments over one
 	// topology build the SoA evaluator once (evalpool.go).
 	evals *evalPool
+	// sessions is the stateful session table behind the session:* op
+	// family; it lives outside the Prepare/Compute registry (session.go).
+	sessions *Sessions
 
 	mComputes *obs.Counter
 	mErrors   *obs.Counter
@@ -124,21 +132,30 @@ func New(opts Options) *Engine {
 			OpDoom:                   computeDoom,
 		},
 		evals:     newEvalPool(opts.Obs),
+		sessions:  newSessions(opts),
 		mComputes: reg.Counter("engine.computes"),
 		mErrors:   reg.Counter("engine.errors"),
 		mLatency:  reg.Timer("engine.compute_latency"),
 	}
 }
 
-// Ops returns the registered operation names, sorted.
+// Ops returns every operation name the engine serves, sorted. The
+// session:* family is included even though it is served through the
+// typed Sessions API rather than Prepare/Compute — Ops is the surface
+// transports enumerate.
 func (e *Engine) Ops() []string {
-	ops := make([]string, 0, len(e.ops))
+	ops := make([]string, 0, len(e.ops)+3)
 	for op := range e.ops {
 		ops = append(ops, op)
 	}
+	ops = append(ops, OpSessionOpen, OpSessionDelta, OpSessionClose)
 	sort.Strings(ops)
 	return ops
 }
+
+// Sessions returns the engine's session table, the entry point of the
+// stateful session:* op family.
+func (e *Engine) Sessions() *Sessions { return e.sessions }
 
 // Obs returns the engine's observability bundle (never nil as a
 // handle; a zero bundle disables instrumentation).
@@ -161,6 +178,10 @@ func (e *Engine) SearchOptions(ctx context.Context) search.Options {
 // computation.
 func (e *Engine) Prepare(req Request) (*Prepared, error) {
 	if _, ok := e.ops[req.Op]; !ok {
+		switch req.Op {
+		case OpSessionOpen, OpSessionDelta, OpSessionClose:
+			return nil, fmt.Errorf("engine: op %q is stateful and served through the session API, not Prepare/Compute", req.Op)
+		}
 		return nil, fmt.Errorf("engine: unknown op %q (known: %v)", req.Op, e.Ops())
 	}
 	if req.Scenario == nil {

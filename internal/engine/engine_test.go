@@ -187,7 +187,8 @@ func TestOpsRegistry(t *testing.T) {
 	eng := engine.New(engine.Options{})
 	got := eng.Ops()
 	want := []string{"doom", "evaluate", "search:lex", "search:lex:pruned",
-		"search:relative", "search:throughput", "search:throughput:pruned"}
+		"search:relative", "search:throughput", "search:throughput:pruned",
+		"session:close", "session:delta", "session:open"}
 	if len(got) != len(want) {
 		t.Fatalf("ops = %v, want %v", got, want)
 	}

@@ -34,9 +34,14 @@ const maxPooledPerKey = 16
 // (sync.Pool sheds entries under GC pressure and randomly in race
 // builds), and the evaluators are cheap enough to keep resident.
 type evalPool struct {
-	mu    sync.Mutex
-	free  map[[32]byte][]*core.BlockEvaluator
-	order [][32]byte // insertion order, for FIFO eviction
+	mu   sync.Mutex
+	free map[[32]byte][]*core.BlockEvaluator
+	// leased counts evaluators currently checked out per key. A key with
+	// outstanding leases is never evicted: evicting it would orphan the
+	// leases' put — the evaluator silently dropped, the next request
+	// paying a rebuild the pool exists to avoid.
+	leased map[[32]byte]int
+	order  [][32]byte // insertion order, for FIFO eviction
 
 	builds *obs.Counter // evaluators constructed (pool misses)
 	reuses *obs.Counter // evaluators checked out of a free list (hits)
@@ -46,27 +51,37 @@ func newEvalPool(o *obs.Obs) *evalPool {
 	reg := o.Registry()
 	return &evalPool{
 		free:   make(map[[32]byte][]*core.BlockEvaluator),
+		leased: make(map[[32]byte]int),
 		builds: reg.Counter("engine.evaluator_builds"),
 		reuses: reg.Counter("engine.evaluator_reuses"),
 	}
 }
 
-// get pops an idle evaluator for key, or nil. It also claims the key's
-// slot in the FIFO order on first sight, evicting the oldest key past
-// the cap.
+// get pops an idle evaluator for key, or nil, and records the lease. On
+// first sight of a key it claims a slot in the FIFO order, evicting the
+// oldest UNLEASED key past the cap; when every resident key is leased,
+// the table temporarily exceeds the cap instead (bounded by the number
+// of concurrent leases, which admission control already bounds).
 func (p *evalPool) get(key [32]byte) *core.BlockEvaluator {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	stack, ok := p.free[key]
 	if !ok {
 		if len(p.order) >= maxPooledTopologies {
-			delete(p.free, p.order[0])
-			p.order = p.order[1:]
+			for i, old := range p.order {
+				if p.leased[old] == 0 {
+					delete(p.free, old)
+					p.order = append(p.order[:i], p.order[i+1:]...)
+					break
+				}
+			}
 		}
 		p.free[key] = nil
 		p.order = append(p.order, key)
+		p.leased[key]++
 		return nil
 	}
+	p.leased[key]++
 	if n := len(stack); n > 0 {
 		bev := stack[n-1]
 		stack[n-1] = nil
@@ -76,11 +91,17 @@ func (p *evalPool) get(key [32]byte) *core.BlockEvaluator {
 	return nil
 }
 
-// put returns an evaluator to its key's free list. An evicted key or a
-// full list drops it — the evaluator is plain memory, nothing to close.
+// put releases a lease and returns the evaluator to its key's free
+// list. A full list drops it — the evaluator is plain memory, nothing
+// to close.
 func (p *evalPool) put(key [32]byte, bev *core.BlockEvaluator) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if n := p.leased[key]; n <= 1 {
+		delete(p.leased, key)
+	} else {
+		p.leased[key] = n - 1
+	}
 	stack, ok := p.free[key]
 	if !ok || len(stack) >= maxPooledPerKey {
 		return

@@ -96,6 +96,12 @@ type Options struct {
 	// MaxBatchItems bounds how many items one /v1/batch request may
 	// carry (0 = DefaultMaxBatchItems).
 	MaxBatchItems int
+	// MaxSessions bounds the /v1/session table
+	// (0 = engine.DefaultMaxSessions).
+	MaxSessions int
+	// SessionTTL is the idle lifetime of a session before lazy eviction
+	// (0 = engine.DefaultSessionTTL).
+	SessionTTL time.Duration
 	// Obs attaches the observability layer: request/cache/coalesce/
 	// reject counters, a request latency timer, and a journal event per
 	// request. nil creates a private registry so /v1/stats always
@@ -140,6 +146,12 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.MaxBody <= 0 {
 		o.MaxBody = DefaultMaxBody
+	}
+	if o.MaxSessions < 0 {
+		return o, fmt.Errorf("server: negative MaxSessions %d", o.MaxSessions)
+	}
+	if o.SessionTTL < 0 {
+		return o, fmt.Errorf("server: negative SessionTTL %v", o.SessionTTL)
 	}
 	switch {
 	case o.MaxBatchItems == 0:
@@ -204,6 +216,8 @@ func New(opts Options) (*Server, error) {
 		eng: engine.New(engine.Options{
 			SearchWorkers: o.SearchWorkers,
 			MaxStates:     o.MaxStates,
+			MaxSessions:   o.MaxSessions,
+			SessionTTL:    o.SessionTTL,
 			Obs:           o.Obs,
 		}),
 		mux:         http.NewServeMux(),
@@ -232,6 +246,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/search", s.handleCompute("search"))
 	s.mux.HandleFunc("/v1/doom", s.handleCompute("doom"))
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/session", s.handleSessionOpen)
+	s.mux.HandleFunc("/v1/session/", s.handleSession)
 	return s, nil
 }
 
@@ -424,7 +440,8 @@ type statsResponse struct {
 		InFlight   int   `json:"in_flight"`
 		Queued     int64 `json:"queued"`
 	} `json:"admission"`
-	Metrics obs.Snapshot `json:"metrics"`
+	Sessions engine.SessionStats `json:"sessions"`
+	Metrics  obs.Snapshot        `json:"metrics"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -439,6 +456,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Admission.QueueDepth = s.opts.QueueDepth
 	resp.Admission.InFlight = s.admit.inFlight()
 	resp.Admission.Queued = s.admit.queued()
+	resp.Sessions = s.eng.Sessions().Stats()
 	resp.Metrics = s.obs.Registry().Snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
